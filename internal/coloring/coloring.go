@@ -1,0 +1,201 @@
+// Package coloring provides the scheduling algorithms of Sec. 3: the greedy
+// first-fit coloring of conflict graphs (a constant-factor approximation
+// because the graphs have constant inductive independence, Appendix A) and
+// the first-fit refinement of Theorem 2 that splits an MST's links into a
+// constant number of sets S with I(i, S⁺ᵢ) < 1.
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"aggrate/internal/conflict"
+	"aggrate/internal/geom"
+	"aggrate/internal/sinr"
+)
+
+// GreedyByLength colors the conflict graph by first-fit, processing links in
+// non-increasing order of length (App. A / Ye–Borodin elimination orders):
+// each link gets the smallest color not used by an already-colored neighbor.
+// It returns one color per vertex, colors numbered from 0, and the number of
+// colors used.
+func GreedyByLength(g *conflict.Graph) ([]int, int) {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := g.Links[order[a]].Length(), g.Links[order[b]].Length()
+		if la != lb {
+			return la > lb // longest first
+		}
+		return order[a] < order[b]
+	})
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	numColors := 0
+	used := make([]bool, n+1) // color c "used by a neighbor" scratch space
+	for _, v := range order {
+		for c := 0; c <= numColors; c++ {
+			used[c] = false
+		}
+		for _, w := range g.Adj[v] {
+			if c := colors[w]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	return colors, numColors
+}
+
+// Verify checks that colors is a proper coloring of g: every vertex colored
+// with a value in [0, numColors) and no edge monochromatic.
+func Verify(g *conflict.Graph, colors []int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("coloring: %d colors for %d vertices", len(colors), g.N())
+	}
+	for v, c := range colors {
+		if c < 0 {
+			return fmt.Errorf("coloring: vertex %d uncolored", v)
+		}
+		for _, w := range g.Adj[v] {
+			if colors[w] == c {
+				return fmt.Errorf("coloring: edge (%d,%d) monochromatic with color %d", v, w, c)
+			}
+		}
+	}
+	return nil
+}
+
+// NumColors returns the number of distinct colors (max+1, assuming colors
+// are the dense 0-based palette produced by GreedyByLength).
+func NumColors(colors []int) int {
+	m := 0
+	for _, c := range colors {
+		if c+1 > m {
+			m = c + 1
+		}
+	}
+	return m
+}
+
+// Classes groups vertex indices by color. Class k lists the vertices of
+// color k in increasing index order.
+func Classes(colors []int) [][]int {
+	k := NumColors(colors)
+	out := make([][]int, k)
+	for v, c := range colors {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// Refine implements the first-fit refinement from the proof of Theorem 2:
+// iterate over the links in non-increasing order of length and assign each
+// link i to the first set S with I(i, S) < 1, where
+// I(i, S) = Σ_{j∈S} min{1, l_i^α/d(i,j)^α}. At insertion time every link
+// already in S is at least as long as i, so the resulting sets satisfy
+// I(i, S⁺ᵢ) < 1 for all their members — which makes each set independent in
+// G₁ and, for MSTs, bounds the number of sets by a constant (Lemma 1).
+//
+// It returns the partition as index sets (in assignment order within each
+// set). The number of sets is the empirical "t" of Theorem 2.
+func Refine(links []geom.Link, p sinr.Params) [][]int {
+	n := len(links)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := links[order[a]].Length(), links[order[b]].Length()
+		if la != lb {
+			return la > lb
+		}
+		return order[a] < order[b]
+	})
+	var sets [][]int
+	// influence[k] is recomputed per candidate; sets stay small (O(1) sets
+	// of O(n) links), so the pairwise evaluation is O(n²) overall.
+	for _, i := range order {
+		placed := false
+		for k := range sets {
+			infl := 0.0
+			for _, j := range sets[k] {
+				infl += p.AddOp(links[i], links[j])
+				if infl >= 1 {
+					break
+				}
+			}
+			if infl < 1 {
+				sets[k] = append(sets[k], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			sets = append(sets, []int{i})
+		}
+	}
+	return sets
+}
+
+// VerifyRefinement checks the Theorem-2 invariant on a refinement: for every
+// set S and every link i ∈ S, I(i, S⁺ᵢ) < 1 where S⁺ᵢ is the subset of S
+// with length ≥ l_i (excluding i itself).
+func VerifyRefinement(links []geom.Link, sets [][]int, p sinr.Params) error {
+	seen := make([]bool, len(links))
+	for k, set := range sets {
+		for _, i := range set {
+			if seen[i] {
+				return fmt.Errorf("coloring: link %d in multiple refinement sets", i)
+			}
+			seen[i] = true
+			li := links[i].Length()
+			infl := 0.0
+			for _, j := range set {
+				if j == i || links[j].Length() < li {
+					continue
+				}
+				infl += p.AddOp(links[i], links[j])
+			}
+			if infl >= 1 {
+				return fmt.Errorf("coloring: set %d link %d has I(i,S+)=%g >= 1", k, i, infl)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("coloring: link %d missing from refinement", i)
+		}
+	}
+	return nil
+}
+
+// RefinementIndependentInG1 checks the feasibility half of Theorem 2's
+// proof: each refinement set must be an independent set of G₁ = G_γ with
+// γ = 1.
+func RefinementIndependentInG1(links []geom.Link, sets [][]int) error {
+	g1 := conflict.Gamma(1)
+	for k, set := range sets {
+		for a := 0; a < len(set); a++ {
+			for b := a + 1; b < len(set); b++ {
+				i, j := set[a], set[b]
+				if conflict.Conflicting(g1, links[i], links[j]) {
+					return fmt.Errorf("coloring: refinement set %d not independent in G1: links %d,%d conflict", k, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+// Package mst builds the aggregation tree: the Euclidean minimum spanning
+// tree of the input pointset, oriented toward a sink to form a convergecast
+// tree.
+//
+// The paper's protocol (Sec. 3) uses the MST with edges directed arbitrarily;
+// for the convergecast semantics of the simulator, edges point from child to
+// parent along the unique sink-rooted orientation. Two constructions are
+// provided — Prim in O(n²) time and O(n) memory, and Kruskal over all pairs —
+// which cross-check each other in tests. For collinear pointsets LineMST
+// exploits the 1-D structure (connect neighbors in sorted order).
+package mst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aggrate/internal/geom"
+	"aggrate/internal/unionfind"
+)
+
+// Edge is an undirected tree edge between two point indices.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Prim computes the Euclidean MST of pts with the O(n²) dense-graph variant
+// of Prim's algorithm (the right tool for a complete geometric graph).
+// It returns n-1 edges; a nil slice for n < 2.
+func Prim(pts []geom.Point) []Edge {
+	n := len(pts)
+	if n < 2 {
+		return nil
+	}
+	const none = -1
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n) // squared distance to the tree
+	bestFrom := make([]int, n)
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+		bestFrom[i] = none
+	}
+	edges := make([]Edge, 0, n-1)
+	cur := 0
+	inTree[0] = true
+	for len(edges) < n-1 {
+		// Relax distances through the vertex added last.
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			if d := pts[cur].Dist2(pts[v]); d < bestDist[v] {
+				bestDist[v] = d
+				bestFrom[v] = cur
+			}
+		}
+		// Pick the closest fringe vertex.
+		next := none
+		nd := math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !inTree[v] && bestDist[v] < nd {
+				nd = bestDist[v]
+				next = v
+			}
+		}
+		if next == none {
+			// Unreachable for finite coordinates, but fail loudly rather
+			// than loop forever if a NaN coordinate sneaks in.
+			panic("mst: disconnected geometric graph (NaN coordinates?)")
+		}
+		edges = append(edges, Edge{U: bestFrom[next], V: next, Weight: math.Sqrt(nd)})
+		inTree[next] = true
+		cur = next
+	}
+	return edges
+}
+
+// Kruskal computes the Euclidean MST by sorting all O(n²) pairs and adding
+// them greedily with a union-find. It exists as an independent
+// cross-check of Prim and for tests; Prim is the default.
+func Kruskal(pts []geom.Point) []Edge {
+	n := len(pts)
+	if n < 2 {
+		return nil
+	}
+	all := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			all = append(all, Edge{U: i, V: j, Weight: pts[i].Dist(pts[j])})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Weight != all[b].Weight {
+			return all[a].Weight < all[b].Weight
+		}
+		// Deterministic tie-break so Prim/Kruskal agree on grids.
+		if all[a].U != all[b].U {
+			return all[a].U < all[b].U
+		}
+		return all[a].V < all[b].V
+	})
+	dsu := unionfind.New(n)
+	edges := make([]Edge, 0, n-1)
+	for _, e := range all {
+		if dsu.Union(e.U, e.V) {
+			edges = append(edges, e)
+			if len(edges) == n-1 {
+				break
+			}
+		}
+	}
+	return edges
+}
+
+// LineMST computes the MST of a collinear pointset (sorted-neighbor chain).
+// The points need not be pre-sorted. It returns an error if the points are
+// not all on the x-axis.
+func LineMST(pts []geom.Point) ([]Edge, error) {
+	if !geom.OnLine(pts) {
+		return nil, fmt.Errorf("mst: LineMST requires points on the x-axis")
+	}
+	n := len(pts)
+	if n < 2 {
+		return nil, nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pts[order[a]].X < pts[order[b]].X })
+	edges := make([]Edge, 0, n-1)
+	for k := 0; k+1 < n; k++ {
+		u, v := order[k], order[k+1]
+		edges = append(edges, Edge{U: u, V: v, Weight: pts[u].Dist(pts[v])})
+	}
+	return edges, nil
+}
+
+// TotalWeight sums the edge weights.
+func TotalWeight(edges []Edge) float64 {
+	s := 0.0
+	for _, e := range edges {
+		s += e.Weight
+	}
+	return s
+}
+
+// Tree is a convergecast tree: an MST rooted at a sink, with every non-sink
+// node owning exactly one directed link toward its parent.
+type Tree struct {
+	// Points is the node set; Sink indexes the root.
+	Points []geom.Point
+	Sink   int
+	// Parent[v] is v's parent, or -1 for the sink.
+	Parent []int
+	// Children[v] lists v's children.
+	Children [][]int
+	// Depth[v] is the hop distance from v to the sink (0 at the sink).
+	Depth []int
+	// Links[k] is the directed link of edge k, from child to parent. There
+	// is exactly one link per non-sink node; LinkOf maps nodes to links.
+	Links []geom.Link
+	// LinkOf[v] is the index into Links of node v's uplink, -1 for the sink.
+	LinkOf []int
+}
+
+// Build orients the given spanning edges toward the sink and assembles the
+// convergecast structure. It returns an error if the edges do not form a
+// spanning tree of the pointset or sink is out of range.
+func Build(pts []geom.Point, edges []Edge, sink int) (*Tree, error) {
+	n := len(pts)
+	if sink < 0 || sink >= n {
+		return nil, fmt.Errorf("mst: sink %d out of range [0,%d)", sink, n)
+	}
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("mst: %d edges cannot span %d points", len(edges), n)
+	}
+	adj := make([][]int, n)
+	dsu := unionfind.New(n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("mst: edge (%d,%d) out of range", e.U, e.V)
+		}
+		if !dsu.Union(e.U, e.V) {
+			return nil, fmt.Errorf("mst: edge (%d,%d) creates a cycle", e.U, e.V)
+		}
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	t := &Tree{
+		Points:   pts,
+		Sink:     sink,
+		Parent:   make([]int, n),
+		Children: make([][]int, n),
+		Depth:    make([]int, n),
+		LinkOf:   make([]int, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+		t.LinkOf[i] = -1
+	}
+	// BFS from the sink to orient edges.
+	queue := []int{sink}
+	visited := make([]bool, n)
+	visited[sink] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			t.Parent[w] = v
+			t.Depth[w] = t.Depth[v] + 1
+			t.Children[v] = append(t.Children[v], w)
+			queue = append(queue, w)
+		}
+	}
+	for v, ok := range visited {
+		if !ok {
+			return nil, fmt.Errorf("mst: node %d not reachable from sink", v)
+		}
+	}
+	// One uplink per non-sink node, ordered by node index for determinism.
+	t.Links = make([]geom.Link, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v == sink {
+			continue
+		}
+		p := t.Parent[v]
+		t.LinkOf[v] = len(t.Links)
+		t.Links = append(t.Links, geom.NewLink(v, p, pts[v], pts[p]))
+	}
+	return t, nil
+}
+
+// NewMSTTree is the one-call constructor used by the public planner: it
+// computes the Euclidean MST of pts (Prim) and orients it toward sink.
+func NewMSTTree(pts []geom.Point, sink int) (*Tree, error) {
+	return Build(pts, Prim(pts), sink)
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return len(t.Points) }
+
+// Height returns the maximum depth over all nodes.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.Depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// SubtreeSizes returns, for each node, the number of nodes in its subtree
+// (including itself). The sink's entry equals n.
+func (t *Tree) SubtreeSizes() []int {
+	n := t.N()
+	size := make([]int, n)
+	// Process nodes in decreasing depth so children are done before parents.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return t.Depth[order[a]] > t.Depth[order[b]] })
+	for _, v := range order {
+		size[v] = 1
+		for _, c := range t.Children[v] {
+			size[v] += size[c]
+		}
+	}
+	return size
+}
+
+// PathToSink returns the node sequence from v up to the sink, inclusive.
+func (t *Tree) PathToSink(v int) []int {
+	path := []int{v}
+	for t.Parent[v] != -1 {
+		v = t.Parent[v]
+		path = append(path, v)
+	}
+	return path
+}
+
+// Validate re-checks the structural invariants (acyclic, spanning, depths
+// consistent, one uplink per non-sink node). It is cheap and called by the
+// end-to-end plan verifier.
+func (t *Tree) Validate() error {
+	n := t.N()
+	if t.Sink < 0 || t.Sink >= n {
+		return fmt.Errorf("mst: invalid sink %d", t.Sink)
+	}
+	if t.Parent[t.Sink] != -1 {
+		return fmt.Errorf("mst: sink has parent %d", t.Parent[t.Sink])
+	}
+	if len(t.Links) != n-1 {
+		return fmt.Errorf("mst: %d links for %d nodes", len(t.Links), n)
+	}
+	for v := 0; v < n; v++ {
+		if v == t.Sink {
+			continue
+		}
+		p := t.Parent[v]
+		if p < 0 || p >= n {
+			return fmt.Errorf("mst: node %d has invalid parent %d", v, p)
+		}
+		if t.Depth[v] != t.Depth[p]+1 {
+			return fmt.Errorf("mst: depth invariant broken at node %d", v)
+		}
+		k := t.LinkOf[v]
+		if k < 0 || k >= len(t.Links) {
+			return fmt.Errorf("mst: node %d has invalid uplink index %d", v, k)
+		}
+		if l := t.Links[k]; l.Sender != v || l.Receiver != p {
+			return fmt.Errorf("mst: uplink of node %d is %v", v, l)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package power implements the two power-control modes of the paper.
+//
+// Oblivious power schemes P_τ(i) = C·l_i^{τα} (Sec. 2) depend only on the
+// link's own length: τ=0 is uniform power, τ=1 is linear power, and the
+// square-root scheme τ=1/2 ("mean power") is the standard choice for the
+// O(log log Δ)-schedule result. The constant C is fixed per instance so
+// that the interference-limited assumption P(i) ≥ (1+ε)·β·N·l_i^α holds for
+// every link.
+//
+// Global power control computes an explicit feasible assignment for a set of
+// links scheduled in the same slot by solving the SINR linear system
+// P = B·P + v (with B the normalized gain matrix and v a positive base
+// vector) via Jacobi iteration, which converges exactly when the set is
+// feasible under some power assignment (spectral radius ρ(B) < 1).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"aggrate/internal/geom"
+	"aggrate/internal/sinr"
+)
+
+// Scheme assigns transmission powers to a set of links as a pure function
+// of the instance (an "oblivious" assignment in the paper's terminology).
+type Scheme interface {
+	// Name identifies the scheme in reports, e.g. "P_0.5".
+	Name() string
+	// Assign returns one power per link. The returned slice is freshly
+	// allocated.
+	Assign(links []geom.Link, p sinr.Params) ([]float64, error)
+}
+
+// Oblivious is the power scheme P_τ(i) = C·l_i^{τα}.
+type Oblivious struct {
+	// Tau is the exponent fraction τ ∈ [0, 1].
+	Tau float64
+}
+
+var _ Scheme = Oblivious{}
+
+// Uniform is P₀: every sender uses the same power.
+func Uniform() Oblivious { return Oblivious{Tau: 0} }
+
+// Linear is P₁: power proportional to l^α, equalizing received signal.
+func Linear() Oblivious { return Oblivious{Tau: 1} }
+
+// Mean is P_{1/2}, the square-root scheme behind the O(log log Δ) bound.
+func Mean() Oblivious { return Oblivious{Tau: 0.5} }
+
+// Name implements Scheme.
+func (o Oblivious) Name() string { return fmt.Sprintf("P_%g", o.Tau) }
+
+// Assign implements Scheme. The instance constant C is the smallest value
+// that keeps every link interference-limited: C = (1+ε)·β·N·l_max^{(1-τ)α}
+// when noise is present, and 1 in the noise-free model (where only power
+// ratios matter).
+func (o Oblivious) Assign(links []geom.Link, p sinr.Params) ([]float64, error) {
+	if o.Tau < 0 || o.Tau > 1 {
+		return nil, fmt.Errorf("power: tau %g outside [0,1]", o.Tau)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := 1.0
+	if p.Noise > 0 {
+		lmax := 0.0
+		for _, l := range links {
+			lmax = math.Max(lmax, l.Length())
+		}
+		c = (1 + p.Epsilon) * p.Beta * p.Noise * math.Pow(lmax, (1-o.Tau)*p.Alpha)
+	}
+	out := make([]float64, len(links))
+	for i, l := range links {
+		le := l.Length()
+		if le <= 0 {
+			return nil, fmt.Errorf("power: link %d has non-positive length", i)
+		}
+		out[i] = c * math.Pow(le, o.Tau*p.Alpha)
+	}
+	return out, nil
+}
+
+// SolveOptions tunes the global-power linear-system solver.
+type SolveOptions struct {
+	// MaxIters caps the Jacobi iterations (default 10_000).
+	MaxIters int
+	// Tol is the relative convergence tolerance (default 1e-12).
+	Tol float64
+}
+
+func (s *SolveOptions) defaults() {
+	if s.MaxIters <= 0 {
+		s.MaxIters = 10_000
+	}
+	if s.Tol <= 0 {
+		s.Tol = 1e-12
+	}
+}
+
+// ErrInfeasible is returned by Solve when the link set admits no feasible
+// power assignment (spectral radius of the gain matrix ≥ 1).
+var ErrInfeasible = fmt.Errorf("power: set is infeasible under any power assignment")
+
+// Solve computes a power assignment making the whole set feasible in one
+// slot, for the global-power-control mode. It solves P = B·P + v by Jacobi
+// iteration with v_i = max((1+ε)·β·N·l_i^α, l_i^α·scale): the fixed point
+// satisfies every SINR constraint with strict slack and the
+// interference-limited floor. Returns ErrInfeasible when ρ(B) ≥ 1.
+func Solve(links []geom.Link, p sinr.Params, opts SolveOptions) ([]float64, error) {
+	opts.defaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(links)
+	if n == 0 {
+		return []float64{}, nil
+	}
+	b := p.GainMatrix(links)
+	if rho := sinr.SpectralRadius(b, 100); rho >= 1 {
+		return nil, fmt.Errorf("%w (spectral radius %.6g)", ErrInfeasible, rho)
+	}
+	// Base vector: noise floor with headroom, or a well-scaled positive
+	// vector in the noise-free model.
+	v := make([]float64, n)
+	for i, l := range links {
+		la := math.Pow(l.Length(), p.Alpha)
+		v[i] = la
+		if nf := (1 + p.Epsilon) * p.Beta * p.Noise * la; nf > v[i] {
+			v[i] = nf
+		}
+	}
+	cur := append([]float64(nil), v...)
+	next := make([]float64, n)
+	for it := 0; it < opts.MaxIters; it++ {
+		var maxRel float64
+		for i := 0; i < n; i++ {
+			s := v[i]
+			row := b[i]
+			for j := 0; j < n; j++ {
+				s += row[j] * cur[j]
+			}
+			next[i] = s
+			rel := math.Abs(s-cur[i]) / s
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+		cur, next = next, cur
+		if maxRel < opts.Tol {
+			return cur, nil
+		}
+	}
+	return nil, fmt.Errorf("power: Jacobi did not converge in %d iterations", opts.MaxIters)
+}
+
+// Validate checks that a concrete power assignment is interference-limited:
+// P(i) ≥ (1+ε)·β·N·l_i^α for every link (trivially true when Noise == 0,
+// where only positivity is required).
+func Validate(links []geom.Link, powers []float64, p sinr.Params) error {
+	if len(links) != len(powers) {
+		return fmt.Errorf("power: %d links but %d powers", len(links), len(powers))
+	}
+	for i, l := range links {
+		if powers[i] <= 0 {
+			return fmt.Errorf("power: non-positive power %g on link %d", powers[i], i)
+		}
+		floor := (1 + p.Epsilon) * p.Beta * p.Noise * math.Pow(l.Length(), p.Alpha)
+		if powers[i] < floor*(1-1e-9) {
+			return fmt.Errorf("power: link %d power %g below interference-limited floor %g",
+				i, powers[i], floor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package schedule turns colorings into TDMA aggregation schedules and
+// defines the rate semantics of Sec. 2.
+//
+// A Schedule is a periodic sequence of slots; slot k lists the links that
+// transmit in time slots k, k+Period, k+2·Period, …. A coloring schedule has
+// every link in exactly one slot, so its rate is 1/Period. Multicoloring
+// schedules (Sec. 4's 5-cycle example) may place a link in several slots,
+// achieving rate (occurrences)/Period, which can beat any proper coloring.
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"aggrate/internal/geom"
+	"aggrate/internal/sinr"
+)
+
+// Schedule is a periodic TDMA schedule over an indexed link set.
+type Schedule struct {
+	// Links is the scheduled link set.
+	Links []geom.Link
+	// Slots[k] lists link indices transmitting in slot k of each period.
+	Slots [][]int
+}
+
+// FromColoring builds a coloring schedule: slot c carries exactly the links
+// colored c. It returns an error if any link is uncolored or a color is out
+// of the dense palette [0, numColors).
+func FromColoring(links []geom.Link, colors []int) (*Schedule, error) {
+	if len(colors) != len(links) {
+		return nil, fmt.Errorf("schedule: %d colors for %d links", len(colors), len(links))
+	}
+	numColors := 0
+	for i, c := range colors {
+		if c < 0 {
+			return nil, fmt.Errorf("schedule: link %d uncolored", i)
+		}
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	s := &Schedule{
+		Links: append([]geom.Link(nil), links...),
+		Slots: make([][]int, numColors),
+	}
+	for i, c := range colors {
+		s.Slots[c] = append(s.Slots[c], i)
+	}
+	return s, nil
+}
+
+// New builds a schedule directly from slot contents, copying the inputs.
+func New(links []geom.Link, slots [][]int) *Schedule {
+	s := &Schedule{
+		Links: append([]geom.Link(nil), links...),
+		Slots: make([][]int, len(slots)),
+	}
+	for k, slot := range slots {
+		s.Slots[k] = append([]int(nil), slot...)
+	}
+	return s
+}
+
+// Period returns the schedule length (number of slots per period).
+func (s *Schedule) Period() int { return len(s.Slots) }
+
+// Occurrences returns how many slots of the period each link appears in.
+func (s *Schedule) Occurrences() []int {
+	occ := make([]int, len(s.Links))
+	for _, slot := range s.Slots {
+		for _, i := range slot {
+			occ[i]++
+		}
+	}
+	return occ
+}
+
+// Rate returns the aggregation rate of the schedule: the minimum over links
+// of occurrences/Period (Sec. 2). An empty or zero-period schedule has rate
+// 0; a schedule missing some link has rate 0.
+func (s *Schedule) Rate() float64 {
+	if s.Period() == 0 || len(s.Links) == 0 {
+		return 0
+	}
+	minOcc := math.MaxInt
+	for _, o := range s.Occurrences() {
+		if o < minOcc {
+			minOcc = o
+		}
+	}
+	return float64(minOcc) / float64(s.Period())
+}
+
+// Validate checks structural sanity: every slot references valid link
+// indices with no duplicates inside a slot, and every link appears at least
+// once per period.
+func (s *Schedule) Validate() error {
+	occ := make([]int, len(s.Links))
+	for k, slot := range s.Slots {
+		seen := make(map[int]bool, len(slot))
+		for _, i := range slot {
+			if i < 0 || i >= len(s.Links) {
+				return fmt.Errorf("schedule: slot %d references link %d out of range", k, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("schedule: slot %d lists link %d twice", k, i)
+			}
+			seen[i] = true
+			occ[i]++
+		}
+	}
+	for i, o := range occ {
+		if o == 0 {
+			return fmt.Errorf("schedule: link %d never scheduled", i)
+		}
+	}
+	return nil
+}
+
+// PowerFunc supplies, for a slot index and the link indices transmitting in
+// it, the transmit power of each listed link (same order). Global power
+// control solves per slot; oblivious schemes return a fixed per-link value.
+type PowerFunc func(slot int, linkIdx []int) ([]float64, error)
+
+// FixedPower adapts a single per-link power vector (an oblivious
+// assignment) to a PowerFunc.
+func FixedPower(perLink []float64) PowerFunc {
+	return func(_ int, linkIdx []int) ([]float64, error) {
+		out := make([]float64, len(linkIdx))
+		for k, i := range linkIdx {
+			if i < 0 || i >= len(perLink) {
+				return nil, fmt.Errorf("schedule: link index %d outside power vector", i)
+			}
+			out[k] = perLink[i]
+		}
+		return out, nil
+	}
+}
+
+// VerifySINR checks that every slot of the schedule is SINR-feasible under
+// the powers provided by pf. It returns the worst slot margin observed
+// (min over slots of min over links of SINR/β) and an error naming the
+// first infeasible slot, if any.
+func (s *Schedule) VerifySINR(p sinr.Params, pf PowerFunc) (float64, error) {
+	worst := math.Inf(1)
+	for k, slot := range s.Slots {
+		if len(slot) == 0 {
+			continue
+		}
+		links := make([]geom.Link, len(slot))
+		for t, i := range slot {
+			links[t] = s.Links[i]
+		}
+		powers, err := pf(k, slot)
+		if err != nil {
+			return 0, fmt.Errorf("schedule: slot %d power assignment: %w", k, err)
+		}
+		m, err := p.Margin(links, powers)
+		if err != nil {
+			return 0, fmt.Errorf("schedule: slot %d: %w", k, err)
+		}
+		if m < worst {
+			worst = m
+		}
+		if m < 1 {
+			return worst, fmt.Errorf("schedule: slot %d infeasible (margin %.4g < 1)", k, m)
+		}
+	}
+	return worst, nil
+}
+
+// Concat returns the schedule that plays a's period then b's period (over
+// the same link set). Useful for composing per-length-class schedules.
+func Concat(a, b *Schedule) (*Schedule, error) {
+	if len(a.Links) != len(b.Links) {
+		return nil, fmt.Errorf("schedule: cannot concat over different link sets (%d vs %d links)",
+			len(a.Links), len(b.Links))
+	}
+	out := New(a.Links, a.Slots)
+	for _, slot := range b.Slots {
+		out.Slots = append(out.Slots, append([]int(nil), slot...))
+	}
+	return out, nil
+}
