@@ -1,0 +1,354 @@
+// Command aggrate runs the paper's aggregation-scheduling experiment loop
+// end-to-end: deployment scenario → MST aggregation tree → conflict graph →
+// greedy length-class coloring → TDMA schedule → SINR verification.
+//
+// Subcommands:
+//
+//	aggrate run   — execute a (scenario × n × seed × power) batch, emit JSON or CSV
+//	aggrate bench — time the conflict-graph build (bucketed vs naive) and the
+//	                full pipeline across instance sizes, emit BENCH_pipeline.json
+//
+// Examples:
+//
+//	aggrate run --scenario uniform --n 50000 --seeds 4
+//	aggrate run --scenario cluster,annulus --n 1000,4000 --seeds 8 --power mean,global --format csv
+//	aggrate bench --sizes 1000,5000,10000,20000 --out BENCH_pipeline.json
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"aggrate/internal/conflict"
+	"aggrate/internal/experiment"
+	"aggrate/internal/mst"
+	"aggrate/internal/scenario"
+	"aggrate/internal/sinr"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "aggrate: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aggrate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: aggrate <run|bench> [flags]
+
+run   executes an experiment batch; see 'aggrate run -h'
+bench times conflict-graph builds and the full pipeline; see 'aggrate bench -h'
+
+scenario presets: %s
+`, strings.Join(scenario.PresetNames(), ", "))
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scenarios := fs.String("scenario", "uniform", "comma-separated scenario presets")
+	ns := fs.String("n", "1000", "comma-separated instance sizes (nodes)")
+	seeds := fs.Int("seeds", 1, "seeds per (scenario, n, power) cell")
+	seed := fs.Uint64("seed", 1, "base seed; instance k uses seed+k")
+	powers := fs.String("power", "mean", "comma-separated power schemes (uniform, mean, linear, global)")
+	graph := fs.String("graph", "obl", "conflict graph kind (gamma, obl, arb)")
+	gamma := fs.Float64("gamma", 2, "initial conflict parameter γ")
+	delta := fs.Float64("delta", 0.5, "exponent δ of G^δ_γ (graph=obl)")
+	alpha := fs.Float64("alpha", 3, "path-loss exponent α > 2")
+	beta := fs.Float64("beta", 2, "SINR threshold β")
+	noise := fs.Float64("noise", 0, "ambient noise N")
+	refine := fs.Bool("refine", false, "also run the Theorem-2 refinement (O(n²); slow above ~20k links)")
+	verify := fs.Bool("verify", true, "verify every slot against the SINR condition, escalating γ on failure")
+	workers := fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)")
+	format := fs.String("format", "json", "output format: json or csv")
+	out := fs.String("out", "-", "output path ('-' = stdout)")
+	summaryOnly := fs.Bool("summary-only", false, "emit only the aggregated summaries (json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *format != "json" && *format != "csv" {
+		return fmt.Errorf("unknown --format %q (want json or csv)", *format)
+	}
+	scList, err := parseScenarios(*scenarios)
+	if err != nil {
+		return err
+	}
+	nList, err := parseInts(*ns)
+	if err != nil {
+		return fmt.Errorf("bad --n: %w", err)
+	}
+	powerList := splitList(*powers)
+
+	base := experiment.Spec{
+		Seed:   *seed,
+		Graph:  *graph,
+		Gamma:  *gamma,
+		Delta:  *delta,
+		SINR:   sinr.Params{Alpha: *alpha, Beta: *beta, Noise: *noise, Epsilon: 0.5},
+		Refine: *refine,
+		Verify: *verify,
+	}
+	specs := experiment.Expand(scList, nList, *seeds, powerList, base)
+	fmt.Fprintf(os.Stderr, "aggrate: running %d instances on %d workers\n",
+		len(specs), effectiveWorkers(*workers, len(specs)))
+	start := time.Now()
+	results := experiment.RunBatch(specs, *workers)
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "aggrate: %d/%d instances ok in %.2fs\n",
+		len(results)-failed, len(results), elapsed.Seconds())
+
+	w, closeFn, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+
+	switch *format {
+	case "json":
+		payload := map[string]any{
+			"summaries": experiment.Aggregate(results),
+		}
+		if !*summaryOnly {
+			payload["results"] = results
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			return err
+		}
+	case "csv":
+		if err := writeCSV(w, results); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown --format %q (want json or csv)", *format)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d instance(s) failed; see the error field in the output", failed)
+	}
+	return nil
+}
+
+func writeCSV(w io.Writer, results []*experiment.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scenario", "n", "seed", "power", "graph", "links", "diversity",
+		"logstar", "edges", "max_degree", "colors", "schedule_length",
+		"rate", "colors_per_logstar", "gamma_used", "gamma_retries",
+		"margin", "verified", "refine_sets", "total_sec", "error",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range results {
+		row := []string{
+			r.Scenario, strconv.Itoa(r.N), strconv.FormatUint(r.Seed, 10),
+			r.Power, r.Graph, strconv.Itoa(r.Links), f(r.Diversity),
+			strconv.Itoa(r.LogStar), strconv.Itoa(r.Edges),
+			strconv.Itoa(r.MaxDegree), strconv.Itoa(r.Colors),
+			strconv.Itoa(r.ScheduleLength), f(r.Rate), f(r.ColorsPerLogStar),
+			f(r.GammaUsed), strconv.Itoa(r.GammaRetries), f(r.Margin),
+			strconv.FormatBool(r.Verified), strconv.Itoa(r.RefineSets),
+			f(r.Timings.TotalSec), r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BenchEntry is one row of the bench report. EdgesMatched is only present
+// when the naive reference actually ran (n ≤ --naive-max); absent means
+// "not cross-checked at this size", never "checked and passed".
+type BenchEntry struct {
+	N            int     `json:"n"`
+	Links        int     `json:"links"`
+	Edges        int     `json:"edges"`
+	BuildSec     float64 `json:"build_sec"`
+	NaiveSec     float64 `json:"naive_sec,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	MSTSec       float64 `json:"mst_sec"`
+	PipelineSec  float64 `json:"pipeline_sec"`
+	Colors       int     `json:"colors"`
+	Verified     bool    `json:"verified"`
+	EdgesMatched *bool   `json:"edges_matched,omitempty"`
+}
+
+// BenchReport is the schema of BENCH_pipeline.json.
+type BenchReport struct {
+	Scenario   string       `json:"scenario"`
+	Seed       uint64       `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	sizes := fs.String("sizes", "1000,2000,5000,10000,20000", "comma-separated instance sizes")
+	naiveMax := fs.Int("naive-max", 20000, "largest n to also time the O(n²) reference build at")
+	seed := fs.Uint64("seed", 1, "instance seed")
+	preset := fs.String("scenario", "uniform", "scenario preset to benchmark on")
+	out := fs.String("out", "BENCH_pipeline.json", "output path ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nList, err := parseInts(*sizes)
+	if err != nil {
+		return fmt.Errorf("bad --sizes: %w", err)
+	}
+	sc, err := scenario.Lookup(*preset)
+	if err != nil {
+		return err
+	}
+
+	report := BenchReport{Scenario: *preset, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, n := range nList {
+		entry := BenchEntry{N: n}
+		pts := sc.Generate(n, *seed)
+
+		t0 := time.Now()
+		tree, err := mst.NewMSTTree(pts, 0)
+		if err != nil {
+			return err
+		}
+		entry.MSTSec = time.Since(t0).Seconds()
+		links := tree.Links
+		entry.Links = len(links)
+
+		f := conflict.PowerLaw(2, 0.5)
+		t0 = time.Now()
+		g := conflict.Build(links, f)
+		entry.BuildSec = time.Since(t0).Seconds()
+		entry.Edges = g.Edges()
+
+		if n <= *naiveMax {
+			t0 = time.Now()
+			ng := conflict.BuildNaive(links, f)
+			entry.NaiveSec = time.Since(t0).Seconds()
+			if entry.BuildSec > 0 {
+				entry.Speedup = entry.NaiveSec / entry.BuildSec
+			}
+			matched := ng.Edges() == g.Edges()
+			entry.EdgesMatched = &matched
+		}
+
+		spec := experiment.NewSpec(sc, n, *seed)
+		t0 = time.Now()
+		res := experiment.Run(spec)
+		entry.PipelineSec = time.Since(t0).Seconds()
+		entry.Colors = res.Colors
+		entry.Verified = res.Verified
+		if res.Err != "" {
+			return fmt.Errorf("bench pipeline at n=%d: %s", n, res.Err)
+		}
+		report.Entries = append(report.Entries, entry)
+		fmt.Fprintf(os.Stderr,
+			"aggrate bench: n=%-6d links=%-6d edges=%-7d build=%.3fs naive=%.3fs pipeline=%.3fs colors=%d\n",
+			n, entry.Links, entry.Edges, entry.BuildSec, entry.NaiveSec, entry.PipelineSec, entry.Colors)
+	}
+
+	w, closeFn, err := openOut(*out)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func parseScenarios(s string) ([]experiment.Scenario, error) {
+	var out []experiment.Scenario
+	for _, name := range splitList(s) {
+		sc, err := scenario.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scenarios given")
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func effectiveWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	return workers
+}
+
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "-" || path == "" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}

@@ -1,0 +1,3 @@
+module aggrate
+
+go 1.22

@@ -1,0 +1,121 @@
+package coloring
+
+import (
+	"testing"
+
+	"aggrate/internal/conflict"
+	"aggrate/internal/geom"
+	"aggrate/internal/mst"
+	"aggrate/internal/rng"
+	"aggrate/internal/sinr"
+)
+
+func testLinks(t *testing.T, n int, seed uint64) []geom.Link {
+	t.Helper()
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * 1000, Y: r.Float64() * 1000}
+	}
+	tree, err := mst.NewMSTTree(pts, 0)
+	if err != nil {
+		t.Fatalf("NewMSTTree: %v", err)
+	}
+	return tree.Links
+}
+
+// TestGreedyProper: first-fit by length must yield a proper coloring of
+// every conflict-graph flavor, with a dense 0-based palette.
+func TestGreedyProper(t *testing.T) {
+	links := testLinks(t, 400, 1)
+	funcs := []conflict.Func{
+		conflict.Gamma(1),
+		conflict.PowerLaw(2, 0.5),
+		conflict.LogThreshold(1.5, 3),
+	}
+	for _, f := range funcs {
+		g := conflict.Build(links, f)
+		colors, k := GreedyByLength(g)
+		if err := Verify(g, colors); err != nil {
+			t.Fatalf("%s: Verify: %v", f.Name, err)
+		}
+		if k != NumColors(colors) {
+			t.Fatalf("%s: reported %d colors, palette says %d", f.Name, k, NumColors(colors))
+		}
+		classes := Classes(colors)
+		if len(classes) != k {
+			t.Fatalf("%s: %d classes for %d colors", f.Name, len(classes), k)
+		}
+		total := 0
+		for c, class := range classes {
+			if len(class) == 0 {
+				t.Fatalf("%s: color %d unused (palette not dense)", f.Name, c)
+			}
+			if !g.IsIndependent(class) {
+				t.Fatalf("%s: color class %d not independent", f.Name, c)
+			}
+			total += len(class)
+		}
+		if total != g.N() {
+			t.Fatalf("%s: classes cover %d of %d vertices", f.Name, total, g.N())
+		}
+	}
+}
+
+// TestVerifyCatchesBadColoring ensures the checker actually rejects.
+func TestVerifyCatchesBadColoring(t *testing.T) {
+	links := testLinks(t, 100, 2)
+	g := conflict.Build(links, conflict.Gamma(1))
+	colors, _ := GreedyByLength(g)
+	// Find an edge and make it monochromatic.
+	for v := range colors {
+		if len(g.Adj[v]) > 0 {
+			colors[v] = colors[g.Adj[v][0]]
+			break
+		}
+	}
+	if err := Verify(g, colors); err == nil {
+		t.Fatal("Verify accepted a monochromatic edge")
+	}
+	if err := Verify(g, colors[:10]); err == nil {
+		t.Fatal("Verify accepted a short color slice")
+	}
+}
+
+// TestRefineTheorem2 checks the refinement against both halves of the
+// Theorem-2 proof obligation: the I(i, S⁺ᵢ) < 1 invariant and
+// G₁-independence of every set — plus the constant-size claim, loosely.
+func TestRefineTheorem2(t *testing.T) {
+	p := sinr.DefaultParams()
+	for seed := uint64(1); seed <= 3; seed++ {
+		links := testLinks(t, 300, seed)
+		sets := Refine(links, p)
+		if err := VerifyRefinement(links, sets, p); err != nil {
+			t.Fatalf("seed %d: VerifyRefinement: %v", seed, err)
+		}
+		if err := RefinementIndependentInG1(links, sets); err != nil {
+			t.Fatalf("seed %d: RefinementIndependentInG1: %v", seed, err)
+		}
+		// Lemma 1 bounds the number of sets by a constant for MST links;
+		// the empirical constant on uniform instances is single-digit.
+		// 32 is a loose regression tripwire, not the theorem's bound.
+		if len(sets) > 32 {
+			t.Fatalf("seed %d: refinement used %d sets, far above the expected constant", seed, len(sets))
+		}
+	}
+}
+
+// TestVerifyRefinementCatchesViolations ensures the refinement checker
+// rejects duplicated and missing links.
+func TestVerifyRefinementCatchesViolations(t *testing.T) {
+	p := sinr.DefaultParams()
+	links := testLinks(t, 50, 4)
+	sets := Refine(links, p)
+	dup := append([][]int{{sets[0][0]}}, sets...)
+	if err := VerifyRefinement(links, dup, p); err == nil {
+		t.Fatal("VerifyRefinement accepted a duplicated link")
+	}
+	if err := VerifyRefinement(links, sets[1:], p); err == nil && len(sets) > 1 {
+		t.Fatal("VerifyRefinement accepted a missing set")
+	}
+}

@@ -17,18 +17,27 @@
 //     feasible under global power control, χ = O(log*Δ)·χ(G_γ) — "G_arb";
 //   - G^δ_γ   (f = γ·x^δ, δ∈(0,1)): independent sets are feasible under an
 //     oblivious scheme P_τ, χ = O(log log Δ)·χ(G_γ) — "G_obl".
+//
+// Build is the production constructor: it buckets links into dyadic length
+// classes, indexes endpoints in one uniform hash grid per class, and detects
+// edges with a goroutine pool, so 10⁵-link instances build in seconds.
+// BuildNaive keeps the exact O(n²) pairwise scan as a cross-check oracle.
 package conflict
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"aggrate/internal/geom"
+	"aggrate/internal/par"
 )
 
 // Func is a conflict-threshold function f together with a display name.
-// Eval must be positive, non-decreasing, and sub-linear on [1, ∞).
+// Eval must be positive, non-decreasing, and sub-linear on [1, ∞). The
+// bucketed Build relies on monotonicity to bound candidate-search radii;
+// a decreasing Eval silently breaks its exactness guarantee.
 type Func struct {
 	Name string
 	Eval func(x float64) float64
@@ -88,9 +97,28 @@ type Graph struct {
 	edges int
 }
 
-// Build constructs G_f(links) by pairwise testing (O(n²); the experiment
-// sizes top out at ~16k links, well within budget).
+// naiveCutoff is the instance size below which the bucketed build is not
+// worth its setup cost and Build falls back to the pairwise scan.
+const naiveCutoff = 128
+
+// Build constructs G_f(links). Instances above naiveCutoff links with all
+// lengths positive go through the grid-bucketed parallel search; the result
+// is bit-identical (same edge set, same sorted adjacency) to BuildNaive,
+// which remains the oracle for small or degenerate inputs.
 func Build(links []geom.Link, f Func) *Graph {
+	if len(links) <= naiveCutoff {
+		return BuildNaive(links, f)
+	}
+	if g := buildBucketed(links, f); g != nil {
+		return g
+	}
+	return BuildNaive(links, f)
+}
+
+// BuildNaive constructs G_f(links) by exact pairwise testing (O(n²)). The
+// double loop appends j>i to Adj[i] in increasing j and i to Adj[j] in
+// increasing i, so both directions come out ascending with no sorting pass.
+func BuildNaive(links []geom.Link, f Func) *Graph {
 	n := len(links)
 	g := &Graph{
 		Links: append([]geom.Link(nil), links...),
@@ -106,10 +134,197 @@ func Build(links []geom.Link, f Func) *Graph {
 			}
 		}
 	}
-	for i := range g.Adj {
-		sort.Slice(g.Adj[i], func(a, b int) bool { return g.Adj[i][a] < g.Adj[i][b] })
-	}
 	return g
+}
+
+// cellKey addresses one cell of a uniform grid. Integer coordinates keep
+// the map collision-free for any instance extent.
+type cellKey struct{ x, y int64 }
+
+// classGrid indexes the link endpoints of one dyadic length class.
+type classGrid struct {
+	cells map[cellKey][]int32
+	size  float64 // cell side length
+	maxL  float64 // actual maximum link length in the class
+	minL  float64 // actual minimum link length in the class
+}
+
+func (cg *classGrid) key(p geom.Point) cellKey {
+	return cellKey{int64(math.Floor(p.X / cg.size)), int64(math.Floor(p.Y / cg.size))}
+}
+
+// buildBucketed is the grid-bucketed parallel construction. It returns nil
+// when the instance is degenerate (non-positive or non-finite lengths, or a
+// non-positive threshold function value), signalling Build to fall back.
+//
+// Correctness sketch: links are partitioned into dyadic length classes
+// [b_c, b_{c+1}) by comparison against precomputed boundaries, so class
+// order respects length order. A pair (i, j) with class(j) ≥ class(i)
+// conflicts only if d(i,j) ≤ l_min·f(l_max/l_min); monotone f bounds that
+// threshold by l_i·f(m_c/n_c) within i's own class and by l_i·f(m_c/l_i)
+// for higher classes, where m_c, n_c are the actual max/min lengths stored
+// per class. Scanning every grid cell intersecting the disks of that radius
+// around both endpoints of i therefore yields a candidate superset; the
+// exact Conflicting test then reproduces the naive edge set. Each edge is
+// discovered exactly once, owned by the lower-class (ties: lower-index)
+// endpoint.
+func buildBucketed(links []geom.Link, f Func) *Graph {
+	n := len(links)
+	lens := make([]float64, n)
+	lmin, lmax := math.Inf(1), 0.0
+	for i, l := range links {
+		le := l.Length()
+		if !(le > 0) || math.IsInf(le, 1) {
+			return nil
+		}
+		lens[i] = le
+		lmin = math.Min(lmin, le)
+		lmax = math.Max(lmax, le)
+	}
+	f2 := f.Eval(2)
+	if !(f2 > 0) || math.IsInf(f2, 1) {
+		return nil
+	}
+	// Guard the radius computation: if the extreme length ratio or the
+	// largest possible search radius overflows, the cell loops below would
+	// effectively never terminate. Fall back to the exact quadratic scan.
+	ratio := lmax / lmin
+	if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
+		return nil
+	}
+	if rmax := lmax * f.Eval(ratio); math.IsInf(rmax, 1) || math.IsNaN(rmax) {
+		return nil
+	}
+
+	// Dyadic class boundaries b_c = lmin·2^c, assigned by comparison (not
+	// floating log2) so that classification is exactly monotone in length.
+	bounds := []float64{lmin}
+	for b := lmin * 2; b <= lmax; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	nc := len(bounds)
+	class := make([]int, n)
+	grids := make([]*classGrid, nc)
+	for i := 0; i < n; i++ {
+		c := sort.SearchFloat64s(bounds, lens[i])
+		if c == nc || bounds[c] > lens[i] {
+			c--
+		}
+		class[i] = c
+		if grids[c] == nil {
+			grids[c] = &classGrid{cells: make(map[cellKey][]int32), maxL: lens[i], minL: lens[i]}
+		} else {
+			g := grids[c]
+			g.maxL = math.Max(g.maxL, lens[i])
+			g.minL = math.Min(g.minL, lens[i])
+		}
+	}
+	for _, cg := range grids {
+		if cg == nil {
+			continue
+		}
+		cg.size = cg.maxL * f2
+		if !(cg.size > 0) || math.IsInf(cg.size, 1) {
+			return nil
+		}
+	}
+	for i := 0; i < n; i++ {
+		cg := grids[class[i]]
+		sk := cg.key(links[i].S)
+		rk := cg.key(links[i].R)
+		cg.cells[sk] = append(cg.cells[sk], int32(i))
+		if rk != sk {
+			cg.cells[rk] = append(cg.cells[rk], int32(i))
+		}
+	}
+
+	// Parallel candidate search. owned[i] collects the edges i is
+	// responsible for: same-class neighbors j > i and all conflicting
+	// neighbors in strictly higher classes.
+	owned := make([][]int32, n)
+	par.ForBlocks(n, 64, func(next func() (int, int, bool)) {
+		stamp := make([]int32, n)
+		for i := range stamp {
+			stamp[i] = -1
+		}
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for i := lo; i < hi; i++ {
+				searchLink(links, lens, class, grids, f, int32(i), stamp, &owned[i])
+			}
+		}
+	})
+
+	g := &Graph{
+		Links: append([]geom.Link(nil), links...),
+		F:     f,
+		Adj:   make([][]int32, n),
+	}
+	deg := make([]int32, n)
+	for i, lst := range owned {
+		g.edges += len(lst)
+		deg[i] += int32(len(lst))
+		for _, j := range lst {
+			deg[j]++
+		}
+	}
+	for i := range g.Adj {
+		if deg[i] > 0 {
+			g.Adj[i] = make([]int32, 0, deg[i])
+		}
+	}
+	for i, lst := range owned {
+		for _, j := range lst {
+			g.Adj[i] = append(g.Adj[i], j)
+			g.Adj[j] = append(g.Adj[j], int32(i))
+		}
+	}
+	par.For(len(g.Adj), func(i int) {
+		slices.Sort(g.Adj[i])
+	})
+	return g
+}
+
+// searchLink appends to *out every neighbor of link i that i owns.
+func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGrid,
+	f Func, i int32, stamp []int32, out *[]int32) {
+	li := lens[i]
+	ci := class[i]
+	for c := ci; c < len(grids); c++ {
+		cg := grids[c]
+		if cg == nil {
+			continue
+		}
+		// Radius bound; see buildBucketed. The 1e-9 relative pad absorbs
+		// the few-ulp slop between this bound and the exact threshold
+		// computed inside Conflicting.
+		var x float64
+		if c == ci {
+			x = cg.maxL / cg.minL
+		} else {
+			x = cg.maxL / li
+		}
+		r := li * f.Eval(x) * (1 + 1e-9)
+		s := cg.size
+		for _, p := range [2]geom.Point{links[i].S, links[i].R} {
+			x0 := int64(math.Floor((p.X - r) / s))
+			x1 := int64(math.Floor((p.X + r) / s))
+			y0 := int64(math.Floor((p.Y - r) / s))
+			y1 := int64(math.Floor((p.Y + r) / s))
+			for cx := x0; cx <= x1; cx++ {
+				for cy := y0; cy <= y1; cy++ {
+					for _, j := range cg.cells[cellKey{cx, cy}] {
+						if j == i || (c == ci && j < i) || stamp[j] == i {
+							continue
+						}
+						stamp[j] = i
+						if Conflicting(f, links[i], links[j]) {
+							*out = append(*out, j)
+						}
+					}
+				}
+			}
+		}
+	}
 }
 
 // N returns the number of vertices (links).

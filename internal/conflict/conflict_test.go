@@ -1,0 +1,212 @@
+package conflict
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"aggrate/internal/geom"
+	"aggrate/internal/mst"
+	"aggrate/internal/rng"
+)
+
+// mstLinks generates the canonical test workload: the convergecast links of
+// a uniform-random pointset's MST.
+func mstLinks(t testing.TB, n int, seed uint64, side float64) []geom.Link {
+	t.Helper()
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * side, Y: r.Float64() * side}
+	}
+	tree, err := mst.NewMSTTree(pts, 0)
+	if err != nil {
+		t.Fatalf("NewMSTTree: %v", err)
+	}
+	return tree.Links
+}
+
+// annulusLinks stresses high length diversity (many dyadic classes).
+func annulusLinks(t testing.TB, n int, seed uint64) []geom.Link {
+	t.Helper()
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		rad := math.Exp(r.Float64() * math.Log(1e5))
+		ang := r.Float64() * 2 * math.Pi
+		pts[i] = geom.Point{X: rad * math.Cos(ang), Y: rad * math.Sin(ang)}
+	}
+	tree, err := mst.NewMSTTree(pts, 0)
+	if err != nil {
+		t.Fatalf("NewMSTTree: %v", err)
+	}
+	return tree.Links
+}
+
+func testFuncs() []Func {
+	return []Func{
+		Gamma(1),
+		Gamma(0.5),
+		Gamma(3),
+		PowerLaw(2, 0.5),
+		PowerLaw(1, 0.25),
+		LogThreshold(1.5, 3),
+		LogThreshold(2, 2.5), // exponent 4: log factor overtakes x on a wide range
+	}
+}
+
+func graphsEqual(t *testing.T, want, got *Graph, label string) {
+	t.Helper()
+	if want.Edges() != got.Edges() {
+		t.Fatalf("%s: edge count mismatch: naive=%d bucketed=%d", label, want.Edges(), got.Edges())
+	}
+	for i := range want.Adj {
+		wa, ga := want.Adj[i], got.Adj[i]
+		if len(wa) != len(ga) {
+			t.Fatalf("%s: vertex %d degree mismatch: naive=%d bucketed=%d", label, i, len(wa), len(ga))
+		}
+		for k := range wa {
+			if wa[k] != ga[k] {
+				t.Fatalf("%s: vertex %d adjacency differs at pos %d: naive=%d bucketed=%d",
+					label, i, k, wa[k], ga[k])
+			}
+		}
+	}
+}
+
+// TestBucketedMatchesNaive is the acceptance property: the grid-bucketed
+// parallel Build must produce an edge set identical (including adjacency
+// order) to the exhaustive O(n²) reference, across conflict functions and
+// both homogeneous and diversity-heavy instances.
+func TestBucketedMatchesNaive(t *testing.T) {
+	cases := []struct {
+		name  string
+		links []geom.Link
+	}{
+		{"uniform-300", mstLinks(t, 300, 1, 1000)},
+		{"uniform-1200", mstLinks(t, 1200, 2, 1000)},
+		{"dense-300", mstLinks(t, 300, 3, 10)},
+		{"annulus-500", annulusLinks(t, 500, 4)},
+	}
+	for _, tc := range cases {
+		for _, f := range testFuncs() {
+			naive := BuildNaive(tc.links, f)
+			bucketed := buildBucketed(tc.links, f)
+			if bucketed == nil {
+				t.Fatalf("%s/%s: bucketed build fell back unexpectedly", tc.name, f.Name)
+			}
+			graphsEqual(t, naive, bucketed, tc.name+"/"+f.Name)
+		}
+	}
+}
+
+// TestBuildSmallUsesNaivePath checks the fallback below the cutoff still
+// yields the same graph as an explicit naive build.
+func TestBuildSmallUsesNaivePath(t *testing.T) {
+	links := mstLinks(t, 60, 5, 100)
+	f := Gamma(1)
+	graphsEqual(t, BuildNaive(links, f), Build(links, f), "small")
+}
+
+// TestBuildDeterministic: two builds of the same instance must be
+// identical despite goroutine scheduling.
+func TestBuildDeterministic(t *testing.T) {
+	links := mstLinks(t, 800, 6, 1000)
+	f := PowerLaw(2, 0.5)
+	graphsEqual(t, Build(links, f), Build(links, f), "repeat")
+}
+
+// TestNaiveAdjacencyAscending pins the invariant that let the redundant
+// sort pass be removed from BuildNaive: the i<j double loop emits both
+// adjacency directions in ascending order already.
+func TestNaiveAdjacencyAscending(t *testing.T) {
+	g := BuildNaive(mstLinks(t, 400, 7, 500), Gamma(2))
+	for i, adj := range g.Adj {
+		for k := 1; k < len(adj); k++ {
+			if adj[k-1] >= adj[k] {
+				t.Fatalf("Adj[%d] not strictly ascending at pos %d: %d >= %d", i, k, adj[k-1], adj[k])
+			}
+		}
+	}
+}
+
+// TestZeroLengthFallsBack: degenerate links (coinciding endpoints) must
+// take the naive path and still conflict with everything.
+func TestZeroLengthFallsBack(t *testing.T) {
+	p := geom.Point{X: 1, Y: 1}
+	links := []geom.Link{
+		geom.NewLink(0, 1, geom.Point{}, geom.Point{X: 1}),
+		geom.NewLink(2, 3, p, p), // zero length
+	}
+	// Pad above the cutoff so Build would prefer the bucketed path.
+	r := rng.New(8)
+	for len(links) <= naiveCutoff+10 {
+		a := geom.Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+		b := geom.Point{X: a.X + 1, Y: a.Y}
+		links = append(links, geom.NewLink(len(links), len(links)+1, a, b))
+	}
+	g := Build(links, Gamma(1))
+	if got, want := g.Degree(1), len(links)-1; got != want {
+		t.Fatalf("zero-length link degree = %d, want %d (conflicts with all)", got, want)
+	}
+}
+
+// TestBucketedFasterAt10k is the performance half of the acceptance
+// criterion. Wall-clock assertions are kept loose (2×) to stay robust on
+// loaded CI machines; the real margin is one to two orders of magnitude.
+func TestBucketedFasterAt10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	links := mstLinks(t, 10_000, 9, 10_000)
+	f := PowerLaw(2, 0.5)
+
+	start := time.Now()
+	bucketed := buildBucketed(links, f)
+	bucketedSec := time.Since(start).Seconds()
+	if bucketed == nil {
+		t.Fatal("bucketed build fell back unexpectedly")
+	}
+
+	start = time.Now()
+	naive := BuildNaive(links, f)
+	naiveSec := time.Since(start).Seconds()
+
+	graphsEqual(t, naive, bucketed, "10k")
+	if bucketedSec*2 >= naiveSec {
+		t.Errorf("bucketed build not measurably faster at n=10k: bucketed=%.3fs naive=%.3fs",
+			bucketedSec, naiveSec)
+	}
+	t.Logf("n=10k: bucketed=%.3fs naive=%.3fs speedup=%.1fx", bucketedSec, naiveSec, naiveSec/bucketedSec)
+}
+
+func BenchmarkBuildBucketed10k(b *testing.B) {
+	links := mstLinks(b, 10_000, 9, 10_000)
+	f := PowerLaw(2, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := buildBucketed(links, f); g == nil {
+			b.Fatal("fell back")
+		}
+	}
+}
+
+func BenchmarkBuildNaive10k(b *testing.B) {
+	links := mstLinks(b, 10_000, 9, 10_000)
+	f := PowerLaw(2, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildNaive(links, f)
+	}
+}
+
+func BenchmarkBuildBucketed50k(b *testing.B) {
+	links := mstLinks(b, 50_000, 9, 30_000)
+	f := PowerLaw(2, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := buildBucketed(links, f); g == nil {
+			b.Fatal("fell back")
+		}
+	}
+}

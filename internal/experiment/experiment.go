@@ -1,0 +1,560 @@
+// Package experiment wires the algorithmic layers into the paper's
+// experiment loop: scenario pointset → MST aggregation tree → conflict
+// graph → greedy length-class coloring (optionally Theorem-2 refinement) →
+// TDMA schedule → SINR verification. One Spec describes one instance; the
+// batch runner fans a (scenario × size × seed × power scheme) product out
+// over a worker pool and aggregates the per-instance metrics into
+// JSON-ready summaries.
+//
+// Feasibility handling: the paper's guarantees hold for a large-enough
+// conflict parameter γ, but the concrete constant is not pinned down. Run
+// therefore verifies every slot against the SINR condition and, on
+// failure, escalates γ geometrically and rebuilds — the schedule returned
+// with Verified=true always passed (*schedule.Schedule).VerifySINR.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggrate/internal/coloring"
+	"aggrate/internal/conflict"
+	"aggrate/internal/geom"
+	"aggrate/internal/mst"
+	"aggrate/internal/power"
+	"aggrate/internal/schedule"
+	"aggrate/internal/sinr"
+	"aggrate/internal/stats"
+)
+
+// Graph kinds selectable in a Spec, matching the paper's three conflict
+// graphs.
+const (
+	// GraphGamma is G_γ (constant threshold) — the structural graph of
+	// Theorem 2; its independent sets need not be SINR-feasible on their
+	// own, so expect γ escalation when verifying.
+	GraphGamma = "gamma"
+	// GraphOblivious is G^δ_γ, whose independent sets are feasible under
+	// the oblivious scheme P_τ with τ = δ.
+	GraphOblivious = "obl"
+	// GraphArbitrary is G_{γlog}, whose independent sets are feasible
+	// under global power control.
+	GraphArbitrary = "arb"
+)
+
+// Power scheme names selectable in a Spec.
+const (
+	PowerUniform = "uniform"
+	PowerMean    = "mean"
+	PowerLinear  = "linear"
+	PowerGlobal  = "global"
+)
+
+// Spec fully determines one experiment instance.
+type Spec struct {
+	Scenario Scenario
+	N        int
+	Seed     uint64
+	Sink     int
+	Power    string
+	Graph    string
+	Gamma    float64
+	Delta    float64
+	SINR     sinr.Params
+	Refine   bool
+	Verify   bool
+	// MaxGammaRetries bounds the escalation loop (default 8).
+	MaxGammaRetries int
+	// GammaStep is the escalation factor (default 1.5).
+	GammaStep float64
+}
+
+// Scenario is the deployment-generator dependency of the runner. It is the
+// method set of internal/scenario.Spec, stated as an interface so tests can
+// inject fixed pointsets without going through a preset.
+type Scenario interface {
+	Generate(n int, seed uint64) []geom.Point
+	PresetName() string
+}
+
+// NamedScenario adapts any generator-like Generate function to the runner.
+type NamedScenario struct {
+	Name string
+	Gen  func(n int, seed uint64) []geom.Point
+}
+
+// Generate implements Scenario.
+func (s NamedScenario) Generate(n int, seed uint64) []geom.Point { return s.Gen(n, seed) }
+
+// PresetName implements Scenario.
+func (s NamedScenario) PresetName() string { return s.Name }
+
+// NewSpec returns a Spec with the harness defaults filled in: mean power
+// over G^δ_γ with γ=2, δ=1/2, the paper's default SINR constants, and
+// verification on.
+func NewSpec(sc Scenario, n int, seed uint64) Spec {
+	return Spec{
+		Scenario:        sc,
+		N:               n,
+		Seed:            seed,
+		Power:           PowerMean,
+		Graph:           GraphOblivious,
+		Gamma:           2,
+		Delta:           0.5,
+		SINR:            sinr.DefaultParams(),
+		Verify:          true,
+		MaxGammaRetries: 8,
+		GammaStep:       1.5,
+	}
+}
+
+func (s Spec) normalized() Spec {
+	if s.Power == "" {
+		s.Power = PowerMean
+	}
+	if s.Graph == "" {
+		s.Graph = GraphOblivious
+	}
+	if s.Gamma <= 0 {
+		s.Gamma = 2
+	}
+	if s.Delta <= 0 || s.Delta >= 1 {
+		s.Delta = 0.5
+	}
+	if s.SINR == (sinr.Params{}) {
+		s.SINR = sinr.DefaultParams()
+	}
+	if s.MaxGammaRetries <= 0 {
+		s.MaxGammaRetries = 8
+	}
+	if s.GammaStep <= 1 {
+		s.GammaStep = 1.5
+	}
+	return s
+}
+
+// graphFunc materializes the conflict-threshold function for the spec at a
+// concrete γ.
+func (s Spec) graphFunc(gamma float64) (conflict.Func, error) {
+	switch s.Graph {
+	case GraphGamma:
+		return conflict.Gamma(gamma), nil
+	case GraphOblivious:
+		return conflict.PowerLaw(gamma, s.Delta), nil
+	case GraphArbitrary:
+		return conflict.LogThreshold(gamma, s.SINR.Alpha), nil
+	default:
+		return conflict.Func{}, fmt.Errorf("experiment: unknown graph kind %q", s.Graph)
+	}
+}
+
+// powerFunc returns the slot-power supplier for the spec's scheme over the
+// given link set.
+func (s Spec) powerFunc(links []geom.Link) (schedule.PowerFunc, error) {
+	var sch power.Scheme
+	switch s.Power {
+	case PowerUniform:
+		sch = power.Uniform()
+	case PowerMean:
+		sch = power.Mean()
+	case PowerLinear:
+		sch = power.Linear()
+	case PowerGlobal:
+		return func(_ int, linkIdx []int) ([]float64, error) {
+			slot := make([]geom.Link, len(linkIdx))
+			for k, i := range linkIdx {
+				slot[k] = links[i]
+			}
+			return power.Solve(slot, s.SINR, power.SolveOptions{})
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown power scheme %q", s.Power)
+	}
+	perLink, err := sch.Assign(links, s.SINR)
+	if err != nil {
+		return nil, err
+	}
+	return schedule.FixedPower(perLink), nil
+}
+
+// Instance is one fully-materialized pipeline run: the artifacts of every
+// stage, kept for inspection, plotting, and tests.
+type Instance struct {
+	Spec     Spec
+	Points   []geom.Point
+	Tree     *mst.Tree
+	Graph    *conflict.Graph
+	Colors   []int
+	Schedule *schedule.Schedule
+	// RefineSets is the Theorem-2 partition, nil unless Spec.Refine.
+	RefineSets [][]int
+	// GammaUsed is the γ the final (verified) build used.
+	GammaUsed float64
+	// GammaRetries counts escalations before verification succeeded.
+	GammaRetries int
+	// Margin is the worst slot SINR margin observed by VerifySINR
+	// (+Inf when every slot is a singleton under zero noise).
+	Margin float64
+}
+
+// Timings records per-stage wall-clock seconds.
+type Timings struct {
+	GenerateSec float64 `json:"generate_sec"`
+	MSTSec      float64 `json:"mst_sec"`
+	BuildSec    float64 `json:"build_sec"`
+	ColorSec    float64 `json:"color_sec"`
+	RefineSec   float64 `json:"refine_sec,omitempty"`
+	VerifySec   float64 `json:"verify_sec"`
+	TotalSec    float64 `json:"total_sec"`
+}
+
+// Result is the JSON-ready metric record of one instance.
+type Result struct {
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+	Seed     uint64 `json:"seed"`
+	Power    string `json:"power"`
+	Graph    string `json:"graph"`
+
+	Links         int     `json:"links"`
+	Diversity     float64 `json:"diversity"`
+	Log2Diversity float64 `json:"log2_diversity"`
+	LogStar       int     `json:"logstar_diversity"`
+	LogLog        float64 `json:"loglog_diversity"`
+
+	Edges     int     `json:"edges"`
+	MaxDegree int     `json:"max_degree"`
+	AvgDegree float64 `json:"avg_degree"`
+
+	Colors         int     `json:"colors"`
+	ScheduleLength int     `json:"schedule_length"`
+	Rate           float64 `json:"rate"`
+	// ColorsPerLogStar normalizes the palette size by log*Δ, the paper's
+	// target growth rate for global power control (Theorem 3).
+	ColorsPerLogStar float64 `json:"colors_per_logstar"`
+	// ColorsPerLogLog normalizes by log log Δ, the oblivious-power rate.
+	ColorsPerLogLog float64 `json:"colors_per_loglog"`
+
+	GammaUsed    float64 `json:"gamma_used"`
+	GammaRetries int     `json:"gamma_retries"`
+	// Margin is clamped to 1e30 so the record stays JSON-encodable when
+	// the true margin is +Inf (singleton slots, zero noise).
+	Margin     float64 `json:"margin"`
+	Verified   bool    `json:"verified"`
+	RefineSets int     `json:"refine_sets,omitempty"`
+
+	Timings Timings `json:"timings"`
+	Err     string  `json:"error,omitempty"`
+}
+
+const marginClamp = 1e30
+
+// Run executes the full pipeline for one spec and reduces it to metrics.
+// Failures are reported in Result.Err rather than aborting a batch.
+func Run(spec Spec) *Result {
+	_, res, err := NewInstance(spec)
+	if err != nil {
+		if res == nil {
+			name := ""
+			if spec.Scenario != nil {
+				name = spec.Scenario.PresetName()
+			}
+			res = &Result{
+				Scenario: name,
+				N:        spec.N, Seed: spec.Seed,
+				Power: spec.Power, Graph: spec.Graph,
+			}
+		}
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// NewInstance executes the full pipeline for one spec, returning both the
+// materialized artifacts and the metric record. On error the partially
+// filled Result (if any) is returned alongside.
+func NewInstance(spec Spec) (*Instance, *Result, error) {
+	spec = spec.normalized()
+	if spec.Scenario == nil {
+		return nil, nil, fmt.Errorf("experiment: spec has no scenario")
+	}
+	if spec.N < 2 {
+		return nil, nil, fmt.Errorf("experiment: need n >= 2, got %d", spec.N)
+	}
+	if err := spec.SINR.Validate(); err != nil {
+		return nil, nil, err
+	}
+	res := &Result{
+		Scenario: spec.Scenario.PresetName(),
+		N:        spec.N, Seed: spec.Seed,
+		Power: spec.Power, Graph: spec.Graph,
+	}
+	start := time.Now()
+
+	t0 := time.Now()
+	pts := spec.Scenario.Generate(spec.N, spec.Seed)
+	res.Timings.GenerateSec = time.Since(t0).Seconds()
+
+	sink := spec.Sink
+	if sink < 0 || sink >= len(pts) {
+		sink = 0
+	}
+	t0 = time.Now()
+	tree, err := mst.NewMSTTree(pts, sink)
+	if err != nil {
+		return nil, res, fmt.Errorf("experiment: mst: %w", err)
+	}
+	res.Timings.MSTSec = time.Since(t0).Seconds()
+
+	links := tree.Links
+	res.Links = len(links)
+	div, err := geom.LinkDiversity(links)
+	if err != nil {
+		return nil, res, err
+	}
+	res.Diversity = div
+	res.Log2Diversity = math.Log2(div)
+	res.LogStar = stats.LogStar(div)
+	res.LogLog = stats.LogLog(div)
+
+	pf, err := spec.powerFunc(links)
+	if err != nil {
+		return nil, res, err
+	}
+
+	inst := &Instance{Spec: spec, Points: pts, Tree: tree}
+	gamma := spec.Gamma
+	for attempt := 0; ; attempt++ {
+		f, err := spec.graphFunc(gamma)
+		if err != nil {
+			return nil, res, err
+		}
+		t0 = time.Now()
+		g := conflict.Build(links, f)
+		res.Timings.BuildSec = time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		colors, numColors := coloring.GreedyByLength(g)
+		res.Timings.ColorSec = time.Since(t0).Seconds()
+		sched, err := schedule.FromColoring(links, colors)
+		if err != nil {
+			return nil, res, err
+		}
+
+		inst.Graph, inst.Colors, inst.Schedule = g, colors, sched
+		inst.GammaUsed, inst.GammaRetries = gamma, attempt
+		res.Edges = g.Edges()
+		res.MaxDegree = g.MaxDegree()
+		res.AvgDegree = g.AverageDegree()
+		res.Colors = numColors
+		res.ScheduleLength = sched.Period()
+		res.Rate = sched.Rate()
+		res.GammaUsed = gamma
+		res.GammaRetries = attempt
+		res.ColorsPerLogStar = float64(numColors) / math.Max(1, float64(res.LogStar))
+		res.ColorsPerLogLog = float64(numColors) / math.Max(1, res.LogLog)
+
+		if !spec.Verify {
+			break
+		}
+		t0 = time.Now()
+		margin, verr := sched.VerifySINR(spec.SINR, pf)
+		res.Timings.VerifySec = time.Since(t0).Seconds()
+		if verr == nil {
+			inst.Margin = margin
+			res.Margin = math.Min(margin, marginClamp)
+			res.Verified = true
+			break
+		}
+		if attempt >= spec.MaxGammaRetries {
+			res.Timings.TotalSec = time.Since(start).Seconds()
+			return inst, res, fmt.Errorf("experiment: schedule still infeasible after %d gamma escalations (gamma=%.3g): %w",
+				attempt, gamma, verr)
+		}
+		gamma *= spec.GammaStep
+	}
+
+	if spec.Refine {
+		t0 = time.Now()
+		sets := coloring.Refine(links, spec.SINR)
+		res.Timings.RefineSec = time.Since(t0).Seconds()
+		if err := coloring.VerifyRefinement(links, sets, spec.SINR); err != nil {
+			return inst, res, err
+		}
+		inst.RefineSets = sets
+		res.RefineSets = len(sets)
+	}
+	res.Timings.TotalSec = time.Since(start).Seconds()
+	return inst, res, nil
+}
+
+// RunBatch executes the specs over a pool of workers goroutines
+// (GOMAXPROCS when workers <= 0) and returns results in spec order. Every
+// instance is seeded independently, so the output is deterministic in the
+// specs regardless of worker count or scheduling.
+func RunBatch(specs []Spec, workers int) []*Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	out := make([]*Result, len(specs))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				out[i] = Run(specs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Expand builds the (scenario × n × seed × power) cross product of specs,
+// using base for every non-product field. Seeds are base.Seed, base.Seed+1,
+// …, base.Seed+seeds-1.
+func Expand(scenarios []Scenario, ns []int, seeds int, powers []string, base Spec) []Spec {
+	if seeds < 1 {
+		seeds = 1
+	}
+	if len(powers) == 0 {
+		powers = []string{base.normalized().Power}
+	}
+	specs := make([]Spec, 0, len(scenarios)*len(ns)*seeds*len(powers))
+	for _, sc := range scenarios {
+		for _, n := range ns {
+			for _, pw := range powers {
+				for s := 0; s < seeds; s++ {
+					sp := base
+					sp.Scenario = sc
+					sp.N = n
+					sp.Power = pw
+					sp.Seed = base.Seed + uint64(s)
+					specs = append(specs, sp)
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// Summary aggregates the results of one (scenario, n, power, graph) cell
+// across seeds.
+type Summary struct {
+	Scenario string `json:"scenario"`
+	N        int    `json:"n"`
+	Power    string `json:"power"`
+	Graph    string `json:"graph"`
+	Seeds    int    `json:"seeds"`
+	Errors   int    `json:"errors"`
+
+	MeanColors   float64 `json:"mean_colors"`
+	MinColors    float64 `json:"min_colors"`
+	MaxColors    float64 `json:"max_colors"`
+	StdColors    float64 `json:"std_colors"`
+	MeanLength   float64 `json:"mean_schedule_length"`
+	MeanRate     float64 `json:"mean_rate"`
+	MeanEdges    float64 `json:"mean_edges"`
+	MeanMargin   float64 `json:"mean_margin"`
+	MeanGamma    float64 `json:"mean_gamma_used"`
+	MedDiversity float64 `json:"median_diversity"`
+	MeanLogStar  float64 `json:"mean_logstar"`
+	// MeanColorsPerLogStar is the paper's headline normalized rate.
+	MeanColorsPerLogStar float64 `json:"mean_colors_per_logstar"`
+	MeanTotalSec         float64 `json:"mean_total_sec"`
+}
+
+// Aggregate groups results by (scenario, n, power, graph) and reduces each
+// group with internal/stats. Failed results count toward Errors and are
+// excluded from the numeric reductions. Groups come back in deterministic
+// sorted order.
+func Aggregate(results []*Result) []Summary {
+	type key struct {
+		Scenario string
+		N        int
+		Power    string
+		Graph    string
+	}
+	groups := make(map[key][]*Result)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		k := key{r.Scenario, r.N, r.Power, r.Graph}
+		groups[k] = append(groups[k], r)
+	}
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.Scenario != kb.Scenario {
+			return ka.Scenario < kb.Scenario
+		}
+		if ka.N != kb.N {
+			return ka.N < kb.N
+		}
+		if ka.Power != kb.Power {
+			return ka.Power < kb.Power
+		}
+		return ka.Graph < kb.Graph
+	})
+	out := make([]Summary, 0, len(keys))
+	for _, k := range keys {
+		rs := groups[k]
+		s := Summary{Scenario: k.Scenario, N: k.N, Power: k.Power, Graph: k.Graph, Seeds: len(rs)}
+		var colors, lengths, rates, edges, margins, gammas, divs, logstars, cpls, totals []float64
+		for _, r := range rs {
+			if r.Err != "" {
+				s.Errors++
+				continue
+			}
+			colors = append(colors, float64(r.Colors))
+			lengths = append(lengths, float64(r.ScheduleLength))
+			rates = append(rates, r.Rate)
+			edges = append(edges, float64(r.Edges))
+			// Clamped margins stand in for +Inf (singleton slots under zero
+			// noise); averaging the 1e30 sentinel would drown real margins.
+			if r.Margin < marginClamp {
+				margins = append(margins, r.Margin)
+			}
+			gammas = append(gammas, r.GammaUsed)
+			divs = append(divs, r.Diversity)
+			logstars = append(logstars, float64(r.LogStar))
+			cpls = append(cpls, r.ColorsPerLogStar)
+			totals = append(totals, r.Timings.TotalSec)
+		}
+		if len(colors) > 0 {
+			s.MeanColors = stats.Mean(colors)
+			s.MinColors = stats.Min(colors)
+			s.MaxColors = stats.Max(colors)
+			s.StdColors = stats.StdDev(colors)
+			s.MeanLength = stats.Mean(lengths)
+			s.MeanRate = stats.Mean(rates)
+			s.MeanEdges = stats.Mean(edges)
+			s.MeanMargin = stats.Mean(margins)
+			s.MeanGamma = stats.Mean(gammas)
+			s.MedDiversity = stats.Median(divs)
+			s.MeanLogStar = stats.Mean(logstars)
+			s.MeanColorsPerLogStar = stats.Mean(cpls)
+			s.MeanTotalSec = stats.Mean(totals)
+		}
+		out = append(out, s)
+	}
+	return out
+}

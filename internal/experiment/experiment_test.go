@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"aggrate/internal/coloring"
+	"aggrate/internal/geom"
+	"aggrate/internal/scenario"
+	"aggrate/internal/schedule"
+)
+
+func uniformScenario(t *testing.T) Scenario {
+	t.Helper()
+	sc, err := scenario.Lookup("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestPipelineEndToEnd runs one full instance and checks every artifact
+// against its own verifier: tree invariants, proper coloring, schedule
+// structure, and the SINR condition.
+func TestPipelineEndToEnd(t *testing.T) {
+	spec := NewSpec(uniformScenario(t), 500, 1)
+	inst, res, err := NewInstance(spec)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if err := inst.Tree.Validate(); err != nil {
+		t.Fatalf("tree invalid: %v", err)
+	}
+	if err := coloring.Verify(inst.Graph, inst.Colors); err != nil {
+		t.Fatalf("coloring invalid: %v", err)
+	}
+	if err := inst.Schedule.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	if !res.Verified || res.Margin < 1 {
+		t.Fatalf("schedule not SINR-verified: verified=%v margin=%g", res.Verified, res.Margin)
+	}
+	if res.Links != 499 || res.Colors == 0 || res.ScheduleLength != res.Colors {
+		t.Fatalf("metrics inconsistent: %+v", res)
+	}
+	if res.Rate <= 0 || res.Rate > 1 {
+		t.Fatalf("rate %g outside (0, 1]", res.Rate)
+	}
+	// A coloring schedule's rate is exactly 1/period.
+	if want := 1 / float64(res.ScheduleLength); res.Rate != want {
+		t.Fatalf("rate %g != 1/period %g", res.Rate, want)
+	}
+}
+
+// TestPowerSchemes: all four power modes must produce verified schedules
+// on a small instance (escalating γ as needed).
+func TestPowerSchemes(t *testing.T) {
+	for _, pw := range []string{PowerUniform, PowerMean, PowerLinear, PowerGlobal} {
+		spec := NewSpec(uniformScenario(t), 200, 2)
+		spec.Power = pw
+		if pw == PowerGlobal {
+			spec.Graph = GraphArbitrary
+		}
+		res := Run(spec)
+		if res.Err != "" {
+			t.Fatalf("power=%s: %s", pw, res.Err)
+		}
+		if !res.Verified {
+			t.Fatalf("power=%s: schedule not verified", pw)
+		}
+	}
+}
+
+// TestRefinePath: the Theorem-2 refinement rides along when requested and
+// is verified inside the pipeline.
+func TestRefinePath(t *testing.T) {
+	spec := NewSpec(uniformScenario(t), 200, 3)
+	spec.Refine = true
+	inst, res, err := NewInstance(spec)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if res.RefineSets == 0 || len(inst.RefineSets) != res.RefineSets {
+		t.Fatalf("refinement missing: res=%d inst=%d", res.RefineSets, len(inst.RefineSets))
+	}
+}
+
+// TestBatchDeterministicAcrossWorkers: results must not depend on the
+// worker count — each instance is seeded independently.
+func TestBatchDeterministicAcrossWorkers(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	specs := Expand([]Scenario{sc}, []int{100, 200}, 3, []string{PowerMean, PowerUniform}, base)
+	if len(specs) != 12 {
+		t.Fatalf("Expand produced %d specs, want 12", len(specs))
+	}
+	r1 := RunBatch(specs, 1)
+	r4 := RunBatch(specs, 4)
+	// Wall-clock timings legitimately vary; everything else must not.
+	for _, rs := range [][]*Result{r1, r4} {
+		for _, r := range rs {
+			r.Timings = Timings{}
+		}
+	}
+	j1, _ := json.Marshal(r1)
+	j4, _ := json.Marshal(r4)
+	if string(j1) != string(j4) {
+		t.Fatal("batch results differ between 1 and 4 workers")
+	}
+}
+
+// TestAggregate groups and reduces a batch, checking group keys, seed
+// counts, and error accounting.
+func TestAggregate(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	specs := Expand([]Scenario{sc}, []int{100}, 3, []string{PowerMean}, base)
+	results := RunBatch(specs, 0)
+	results = append(results, &Result{Scenario: "uniform", N: 100, Power: PowerMean, Graph: GraphOblivious, Err: "boom"})
+	sums := Aggregate(results)
+	if len(sums) != 1 {
+		t.Fatalf("Aggregate produced %d groups, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.Seeds != 4 || s.Errors != 1 {
+		t.Fatalf("seeds=%d errors=%d, want 4 and 1", s.Seeds, s.Errors)
+	}
+	if s.MeanColors <= 0 || s.MinColors > s.MaxColors {
+		t.Fatalf("color stats inconsistent: %+v", s)
+	}
+}
+
+// TestResultJSONEncodable: the +Inf margin of singleton-slot schedules must
+// be clamped so batches always marshal.
+func TestResultJSONEncodable(t *testing.T) {
+	// Two far-apart points: one link, one slot, margin +Inf under zero noise.
+	sc := NamedScenario{Name: "pair", Gen: func(n int, seed uint64) []geom.Point {
+		return []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}}
+	}}
+	spec := NewSpec(sc, 2, 1)
+	res := Run(spec)
+	if res.Err != "" {
+		t.Fatalf("pair instance failed: %s", res.Err)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("Result not JSON-encodable: %v", err)
+	}
+	if res.Margin != marginClamp {
+		t.Fatalf("infinite margin not clamped: %g", res.Margin)
+	}
+}
+
+// TestSpecErrors: malformed specs surface as errors, not panics.
+func TestSpecErrors(t *testing.T) {
+	if res := Run(Spec{}); res.Err == "" {
+		t.Fatal("empty spec did not error")
+	}
+	spec := NewSpec(uniformScenario(t), 100, 1)
+	spec.Graph = "bogus"
+	if res := Run(spec); res.Err == "" {
+		t.Fatal("bogus graph kind did not error")
+	}
+	spec = NewSpec(uniformScenario(t), 100, 1)
+	spec.Power = "bogus"
+	if res := Run(spec); res.Err == "" {
+		t.Fatal("bogus power scheme did not error")
+	}
+}
+
+// TestValidateSchedule cross-checks the schedule artifact against the
+// standalone schedule verifier on a second instance for good measure.
+func TestValidateSchedule(t *testing.T) {
+	spec := NewSpec(uniformScenario(t), 300, 9)
+	inst, _, err := NewInstance(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := inst.Schedule.Occurrences()
+	for i, o := range occ {
+		if o != 1 {
+			t.Fatalf("coloring schedule has link %d in %d slots, want exactly 1", i, o)
+		}
+	}
+	var _ *schedule.Schedule = inst.Schedule
+}

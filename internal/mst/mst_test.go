@@ -1,0 +1,97 @@
+package mst
+
+import (
+	"math"
+	"testing"
+
+	"aggrate/internal/geom"
+	"aggrate/internal/rng"
+)
+
+func randomPoints(n int, seed uint64, side float64) []geom.Point {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * side, Y: r.Float64() * side}
+	}
+	return pts
+}
+
+// TestPrimKruskalAgree cross-checks the two MST constructions by total
+// weight on random pointsets: distinct algorithms, identical optimum.
+func TestPrimKruskalAgree(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		for _, n := range []int{2, 3, 10, 60, 200} {
+			pts := randomPoints(n, seed*100+uint64(n), 1000)
+			wp := TotalWeight(Prim(pts))
+			wk := TotalWeight(Kruskal(pts))
+			if math.Abs(wp-wk) > 1e-9*math.Max(1, wp) {
+				t.Fatalf("n=%d seed=%d: Prim weight %.12g != Kruskal weight %.12g", n, seed, wp, wk)
+			}
+		}
+	}
+}
+
+// TestLineMSTMatchesPrim checks the 1-D specialization against the general
+// algorithm on collinear instances.
+func TestLineMSTMatchesPrim(t *testing.T) {
+	r := rng.New(42)
+	pts := make([]geom.Point, 100)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * 500, Y: 0}
+	}
+	le, err := LineMST(pts)
+	if err != nil {
+		t.Fatalf("LineMST: %v", err)
+	}
+	if got, want := TotalWeight(le), TotalWeight(Prim(pts)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LineMST weight %.12g != Prim weight %.12g", got, want)
+	}
+	if _, err := LineMST([]geom.Point{{X: 0, Y: 1}}); err == nil {
+		t.Fatal("LineMST accepted an off-axis point")
+	}
+}
+
+// TestTreeStructure builds the convergecast tree and checks its invariants
+// plus the per-node uplink bookkeeping.
+func TestTreeStructure(t *testing.T) {
+	pts := randomPoints(150, 7, 1000)
+	tree, err := NewMSTTree(pts, 3)
+	if err != nil {
+		t.Fatalf("NewMSTTree: %v", err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tree.Sink != 3 || tree.N() != 150 || len(tree.Links) != 149 {
+		t.Fatalf("tree shape wrong: sink=%d n=%d links=%d", tree.Sink, tree.N(), len(tree.Links))
+	}
+	sizes := tree.SubtreeSizes()
+	if sizes[tree.Sink] != tree.N() {
+		t.Fatalf("sink subtree size %d != n %d", sizes[tree.Sink], tree.N())
+	}
+	for v := 0; v < tree.N(); v++ {
+		path := tree.PathToSink(v)
+		if path[len(path)-1] != tree.Sink {
+			t.Fatalf("PathToSink(%d) does not end at sink", v)
+		}
+		if len(path)-1 != tree.Depth[v] {
+			t.Fatalf("PathToSink(%d) length %d inconsistent with depth %d", v, len(path)-1, tree.Depth[v])
+		}
+	}
+}
+
+// TestBuildRejectsBadEdges exercises the error paths of Build.
+func TestBuildRejectsBadEdges(t *testing.T) {
+	pts := randomPoints(4, 1, 10)
+	if _, err := Build(pts, []Edge{{U: 0, V: 1}}, 0); err == nil {
+		t.Fatal("Build accepted too few edges")
+	}
+	cyc := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}
+	if _, err := Build(pts, cyc, 0); err == nil {
+		t.Fatal("Build accepted a cycle")
+	}
+	if _, err := Build(pts, Prim(pts), 99); err == nil {
+		t.Fatal("Build accepted an out-of-range sink")
+	}
+}

@@ -1,0 +1,101 @@
+// Package par provides the shared parallel-iteration helpers for the
+// CPU-bound build phases. A package-global slot pool bounds the number of
+// extra worker goroutines across *all* concurrent callers to GOMAXPROCS,
+// so nested parallelism — e.g. the experiment batch runner invoking the
+// parallel conflict-graph build — degrades gracefully to roughly one
+// active goroutine per core instead of multiplying the two pool widths.
+//
+// Every call also does work on the calling goroutine, so progress never
+// depends on slot availability and exhaustion cannot deadlock.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var slots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// For runs fn(i) for every i in [0, n), splitting the range into
+// contiguous chunks. Chunks beyond the first run on extra goroutines when
+// global slots are free and inline otherwise.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p := runtime.GOMAXPROCS(0)
+	if p > n {
+		p = n
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() { <-slots; wg.Done() }()
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}(lo, hi)
+		default:
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+	}
+	for i := 0; i < chunk && i < n; i++ {
+		fn(i)
+	}
+	wg.Wait()
+}
+
+// ForBlocks dispatches the blocks [k·block, min((k+1)·block, n)) of the
+// range [0, n) to workers pulling from a shared cursor — the right shape
+// when per-item cost is uneven and workers carry per-goroutine state
+// (allocate it at the top of worker, before the next loop). The calling
+// goroutine always runs one worker; up to GOMAXPROCS-1 extras join when
+// global slots are free. worker must loop:
+//
+//	for lo, hi, ok := next(); ok; lo, hi, ok = next() { ... }
+func ForBlocks(n, block int, worker func(next func() (lo, hi int, ok bool))) {
+	if n <= 0 {
+		return
+	}
+	if block < 1 {
+		block = 1
+	}
+	var cursor atomic.Int64
+	next := func() (int, int, bool) {
+		lo := int(cursor.Add(int64(block))) - block
+		if lo >= n {
+			return 0, 0, false
+		}
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		return lo, hi, true
+	}
+	var wg sync.WaitGroup
+	for w := runtime.GOMAXPROCS(0) - 1; w > 0; w-- {
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-slots; wg.Done() }()
+				worker(next)
+			}()
+		default:
+			w = 0 // pool exhausted; no point polling again
+		}
+	}
+	worker(next)
+	wg.Wait()
+}

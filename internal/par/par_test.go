@@ -1,0 +1,70 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversAllIndices: every index visited exactly once, any n.
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		visits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+// TestForBlocksCoversAllIndices: the shared cursor hands out every block
+// exactly once across workers.
+func TestForBlocksCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		visits := make([]int32, n)
+		ForBlocks(n, 64, func(next func() (int, int, bool)) {
+			for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+// TestNestedDoesNotDeadlock: For inside ForBlocks inside For must complete
+// even with the global slot pool fully contended — the calling goroutine
+// always makes progress without a slot.
+func TestNestedDoesNotDeadlock(t *testing.T) {
+	var total atomic.Int64
+	For(8, func(i int) {
+		ForBlocks(100, 10, func(next func() (int, int, bool)) {
+			for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+				For(hi-lo, func(int) { total.Add(1) })
+			}
+		})
+	})
+	if got := total.Load(); got != 800 {
+		t.Fatalf("nested total = %d, want 800", got)
+	}
+}
+
+// TestForBlocksBadBlock: non-positive block sizes are clamped, not looped
+// on forever.
+func TestForBlocksBadBlock(t *testing.T) {
+	var count atomic.Int64
+	ForBlocks(5, 0, func(next func() (lo, hi int, ok bool)) {
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			count.Add(int64(hi - lo))
+		}
+	})
+	if got := count.Load(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+}

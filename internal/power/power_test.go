@@ -1,0 +1,101 @@
+package power
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"aggrate/internal/geom"
+	"aggrate/internal/sinr"
+)
+
+func testParams() sinr.Params { return sinr.Params{Alpha: 3, Beta: 2, Noise: 0, Epsilon: 0.5} }
+
+// TestObliviousSchemes pins P_τ(i) = C·l^{τα} for the three named schemes
+// in the noise-free model (C = 1).
+func TestObliviousSchemes(t *testing.T) {
+	p := testParams()
+	links := []geom.Link{
+		geom.NewLink(0, 1, geom.Point{}, geom.Point{X: 2}), // l = 2
+		geom.NewLink(2, 3, geom.Point{}, geom.Point{X: 4}), // l = 4
+	}
+	cases := []struct {
+		scheme Oblivious
+		want   []float64
+	}{
+		{Uniform(), []float64{1, 1}},
+		{Linear(), []float64{8, 64}},                            // l^3
+		{Mean(), []float64{math.Pow(2, 1.5), math.Pow(4, 1.5)}}, // l^{1.5}
+	}
+	for _, c := range cases {
+		got, err := c.scheme.Assign(links, p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.scheme.Name(), err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Fatalf("%s: power[%d] = %g, want %g", c.scheme.Name(), i, got[i], c.want[i])
+			}
+		}
+	}
+	if _, err := (Oblivious{Tau: 2}).Assign(links, p); err == nil {
+		t.Fatal("Assign accepted tau outside [0,1]")
+	}
+}
+
+// TestNoiseFloorConstant: with noise, C scales so every link clears the
+// interference-limited floor; Validate must agree.
+func TestNoiseFloorConstant(t *testing.T) {
+	p := sinr.Params{Alpha: 3, Beta: 2, Noise: 0.01, Epsilon: 0.5}
+	links := []geom.Link{
+		geom.NewLink(0, 1, geom.Point{}, geom.Point{X: 1}),
+		geom.NewLink(2, 3, geom.Point{}, geom.Point{X: 10}),
+	}
+	for _, sch := range []Oblivious{Uniform(), Mean(), Linear()} {
+		powers, err := sch.Assign(links, p)
+		if err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+		if err := Validate(links, powers, p); err != nil {
+			t.Fatalf("%s: %v", sch.Name(), err)
+		}
+	}
+}
+
+// TestSolveFeasiblePair: the Jacobi fixed point must make the slot
+// SINR-feasible, which the sinr package can confirm independently.
+func TestSolveFeasiblePair(t *testing.T) {
+	p := testParams()
+	links := []geom.Link{
+		geom.NewLink(0, 1, geom.Point{X: 0}, geom.Point{X: 1}),
+		geom.NewLink(2, 3, geom.Point{X: 2}, geom.Point{X: 3}),
+	}
+	// Uniform power fails this pair (margin 0.5) but global control works.
+	powers, err := Solve(links, p, SolveOptions{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	ok, err := p.Feasible(links, powers)
+	if err != nil || !ok {
+		t.Fatalf("Solve output infeasible: ok=%v err=%v powers=%v", ok, err, powers)
+	}
+}
+
+// TestSolveInfeasible: coinciding links cannot be scheduled together under
+// any power assignment.
+func TestSolveInfeasible(t *testing.T) {
+	p := testParams()
+	a := geom.NewLink(0, 1, geom.Point{X: 0}, geom.Point{X: 1})
+	b := geom.NewLink(2, 3, geom.Point{X: 0, Y: 0.001}, geom.Point{X: 1, Y: 0.001})
+	_, err := Solve([]geom.Link{a, b}, p, SolveOptions{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Solve = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	powers, err := Solve(nil, testParams(), SolveOptions{})
+	if err != nil || len(powers) != 0 {
+		t.Fatalf("Solve(nil) = %v, %v; want empty, nil", powers, err)
+	}
+}

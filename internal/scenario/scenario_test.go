@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"testing"
+
+	"aggrate/internal/geom"
+	"aggrate/internal/rng"
+)
+
+// TestPresetsGenerate: every preset must produce exactly n pairwise
+// distinct points, deterministically in the seed.
+func TestPresetsGenerate(t *testing.T) {
+	const n = 400
+	for name, spec := range Presets() {
+		pts := spec.Generate(n, 7)
+		if len(pts) != n {
+			t.Fatalf("%s: got %d points, want %d", name, len(pts), n)
+		}
+		seen := make(map[geom.Point]bool, n)
+		for _, p := range pts {
+			if seen[p] {
+				t.Fatalf("%s: duplicate point %v", name, p)
+			}
+			seen[p] = true
+		}
+		again := spec.Generate(n, 7)
+		for i := range pts {
+			if pts[i] != again[i] {
+				t.Fatalf("%s: not deterministic at index %d: %v vs %v", name, i, pts[i], again[i])
+			}
+		}
+		other := spec.Generate(n, 8)
+		same := true
+		for i := range pts {
+			if pts[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 7 and 8 produced identical pointsets", name)
+		}
+		if spec.PresetName() != name {
+			t.Fatalf("preset %q reports name %q", name, spec.PresetName())
+		}
+	}
+}
+
+// TestLineIsCollinear: the line preset must satisfy geom.OnLine so that
+// mst.LineMST applies.
+func TestLineIsCollinear(t *testing.T) {
+	spec, err := Lookup("line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := spec.Generate(200, 1); !geom.OnLine(pts) {
+		t.Fatal("line preset produced an off-axis point")
+	}
+}
+
+// TestDiversityOrdering sanity-checks that the presets stress the length
+// scales they claim to: the jittered grid has near-unit diversity while
+// the annulus spreads scales by orders of magnitude.
+func TestDiversityOrdering(t *testing.T) {
+	div := func(name string) float64 {
+		spec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := spec.Generate(500, 3)
+		d, err := geom.PointDiversity(pts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return d
+	}
+	grid := div("grid-exact")
+	ann := div("annulus-wide")
+	if ann < 100*grid {
+		t.Fatalf("annulus-wide diversity %g not far above grid-exact diversity %g", ann, grid)
+	}
+}
+
+// TestLookupError: unknown names must fail with the preset list.
+func TestLookupError(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup accepted an unknown preset")
+	}
+	if got, want := len(PresetNames()), len(Presets()); got != want {
+		t.Fatalf("PresetNames returned %d names for %d presets", got, want)
+	}
+}
+
+// TestDedupeRejittersCollisions exercises the duplicate-point guard
+// directly: exact coincidences must be re-jittered into distinct points
+// close to the originals.
+func TestDedupeRejittersCollisions(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 2}}
+	out := dedupe(pts, rng.New(1), 1)
+	seen := make(map[geom.Point]bool)
+	for i, p := range out {
+		if seen[p] {
+			t.Fatalf("duplicate survived dedupe: %v", p)
+		}
+		seen[p] = true
+		if p.Dist(geom.Point{X: 1, Y: 1}) > 1e-6 && i < 3 {
+			t.Fatalf("dedupe moved point %d too far: %v", i, p)
+		}
+	}
+}

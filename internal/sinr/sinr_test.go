@@ -1,0 +1,129 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+
+	"aggrate/internal/geom"
+)
+
+// twoLinkParams are the hand-computed fixture constants: α=3, β=2, no
+// noise. All expected values below are derived by hand from Sec. 2's
+// definitions.
+func twoLinkParams() Params { return Params{Alpha: 3, Beta: 2, Noise: 0, Epsilon: 0} }
+
+// TestMarginTwoLinksFeasible: links A = (0,0)→(1,0) and B = (10,0)→(11,0),
+// unit powers.
+//
+//	S_A = 1/1³ = 1;  I_{BA} = 1/d(s_B, r_A)³ = 1/9³ = 1/729
+//	SINR_A = 729, margin_A = 729/β = 364.5
+//	S_B = 1;  I_{AB} = 1/d(s_A, r_B)³ = 1/11³ = 1/1331
+//	SINR_B = 1331, margin_B = 665.5  →  worst margin 364.5
+func TestMarginTwoLinksFeasible(t *testing.T) {
+	p := twoLinkParams()
+	links := []geom.Link{
+		geom.NewLink(0, 1, geom.Point{X: 0}, geom.Point{X: 1}),
+		geom.NewLink(2, 3, geom.Point{X: 10}, geom.Point{X: 11}),
+	}
+	m, err := p.Margin(links, []float64{1, 1})
+	if err != nil {
+		t.Fatalf("Margin: %v", err)
+	}
+	if want := 364.5; math.Abs(m-want) > 1e-9 {
+		t.Fatalf("margin = %.12g, want %g", m, want)
+	}
+	ok, err := p.Feasible(links, []float64{1, 1})
+	if err != nil || !ok {
+		t.Fatalf("Feasible = %v, %v; want true, nil", ok, err)
+	}
+}
+
+// TestMarginTwoLinksInfeasible: move B to (2,0)→(3,0).
+//
+//	I_{BA} = 1/d(s_B, r_A)³ = 1/1³ = 1 → SINR_A = 1, margin_A = 0.5
+//	I_{AB} = 1/d(s_A, r_B)³ = 1/27  → SINR_B = 27, margin_B = 13.5
+func TestMarginTwoLinksInfeasible(t *testing.T) {
+	p := twoLinkParams()
+	links := []geom.Link{
+		geom.NewLink(0, 1, geom.Point{X: 0}, geom.Point{X: 1}),
+		geom.NewLink(2, 3, geom.Point{X: 2}, geom.Point{X: 3}),
+	}
+	m, err := p.Margin(links, []float64{1, 1})
+	if err != nil {
+		t.Fatalf("Margin: %v", err)
+	}
+	if want := 0.5; math.Abs(m-want) > 1e-12 {
+		t.Fatalf("margin = %.12g, want %g", m, want)
+	}
+	if ok, _ := p.Feasible(links, []float64{1, 1}); ok {
+		t.Fatal("Feasible = true for an infeasible pair")
+	}
+	// The pair is still feasible under *some* power assignment: boosting A
+	// relative to B trades A's deficit against B's huge slack.
+	if ok, margin := p.FeasibleSomePower(links); !ok || margin <= 1 {
+		t.Fatalf("FeasibleSomePower = %v, %g; want true with margin > 1", ok, margin)
+	}
+}
+
+// TestMarginEdgeCases covers the degenerate inputs Margin must reject or
+// special-case.
+func TestMarginEdgeCases(t *testing.T) {
+	p := twoLinkParams()
+	single := []geom.Link{geom.NewLink(0, 1, geom.Point{}, geom.Point{X: 5})}
+	m, err := p.Margin(single, []float64{1})
+	if err != nil || !math.IsInf(m, 1) {
+		t.Fatalf("single link, zero noise: margin = %v, %v; want +Inf, nil", m, err)
+	}
+	if _, err := p.Margin(single, []float64{1, 2}); err == nil {
+		t.Fatal("Margin accepted mismatched slice lengths")
+	}
+	if _, err := p.Margin(single, []float64{0}); err == nil {
+		t.Fatal("Margin accepted non-positive power")
+	}
+}
+
+// TestAddOp pins the additive operator I(j,i) = min{1, (l_j/d(i,j))^α}.
+func TestAddOp(t *testing.T) {
+	p := twoLinkParams()
+	a := geom.NewLink(0, 1, geom.Point{X: 0}, geom.Point{X: 1}) // length 1
+	b := geom.NewLink(2, 3, geom.Point{X: 3}, geom.Point{X: 4}) // d(a,b)=2
+	if got, want := p.AddOp(a, b), 0.125; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AddOp = %.12g, want %g (= (1/2)³)", got, want)
+	}
+	c := geom.NewLink(4, 5, geom.Point{X: 1.5}, geom.Point{X: 9}) // length 7.5, d(a,c)=0.5
+	if got := p.AddOp(c, a); got != 1 {
+		t.Fatalf("AddOp clamp = %.12g, want 1", got)
+	}
+	if got := p.AddOp(a, a); got != 1 {
+		t.Fatalf("AddOp of coinciding links = %g, want 1", got)
+	}
+}
+
+// TestNoiseFloor: with noise, a single link needs P ≥ β·N·l^α; MinPower and
+// Margin must agree on the boundary.
+func TestNoiseFloor(t *testing.T) {
+	p := Params{Alpha: 3, Beta: 2, Noise: 0.001, Epsilon: 0}
+	l := geom.NewLink(0, 1, geom.Point{}, geom.Point{X: 2})
+	floor := p.MinPower(2) // 2·0.001·8 = 0.016
+	if math.Abs(floor-0.016) > 1e-15 {
+		t.Fatalf("MinPower = %g, want 0.016", floor)
+	}
+	m, err := p.Margin([]geom.Link{l}, []float64{floor})
+	if err != nil || math.Abs(m-1) > 1e-12 {
+		t.Fatalf("margin at the noise floor = %v, %v; want exactly 1", m, err)
+	}
+}
+
+// TestSpectralRadiusKnown checks the power iteration on a matrix with a
+// known radius.
+func TestSpectralRadiusKnown(t *testing.T) {
+	// [[1, 2], [0.5, 1]] has eigenvalues 1 ± 1 → radius 2, with a spectral
+	// gap so the power iteration converges.
+	b := [][]float64{{1, 2}, {0.5, 1}}
+	if r := SpectralRadius(b, 200); math.Abs(r-2) > 1e-8 {
+		t.Fatalf("SpectralRadius = %.12g, want 2", r)
+	}
+	if r := SpectralRadius(nil, 10); r != 0 {
+		t.Fatalf("SpectralRadius(nil) = %g, want 0", r)
+	}
+}

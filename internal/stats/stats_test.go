@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLogStarReferences pins the documented reference values.
+func TestLogStarReferences(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0},
+		{2, 1}, {4, 2}, {16, 3}, {65536, 4},
+		{3, 2}, {5, 3},
+	}
+	for _, c := range cases {
+		if got := LogStar(c.x); got != c.want {
+			t.Errorf("LogStar(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// TestLogStarFromLog2 checks the large-value form, including Δ = 2^65536
+// which overflows float64 as a plain value.
+func TestLogStarFromLog2(t *testing.T) {
+	if got := LogStarFromLog2(65536); got != 5 {
+		t.Errorf("LogStarFromLog2(65536) = %d, want 5 (log* of 2^65536)", got)
+	}
+	if got := LogStarFromLog2(0); got != 0 {
+		t.Errorf("LogStarFromLog2(0) = %d, want 0", got)
+	}
+	if got := LogStarFromLog2(-3); got != 0 {
+		t.Errorf("LogStarFromLog2(-3) = %d, want 0", got)
+	}
+	// Consistency with the direct form where both are representable.
+	for _, y := range []float64{1, 2, 4, 10, 100} {
+		if got, want := LogStarFromLog2(y), LogStar(math.Pow(2, y)); got != want {
+			t.Errorf("LogStarFromLog2(%g) = %d, LogStar(2^%g) = %d", y, got, y, want)
+		}
+	}
+}
+
+// TestPercentileEdges covers the edge cases: empty input, clamped p,
+// single element, and interpolation.
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile(single, 99) = %g, want 7", got)
+	}
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	if got := Percentile(xs, -10); got != 1 {
+		t.Errorf("Percentile(p<0) = %g, want min 1", got)
+	}
+	if got := Percentile(xs, 200); got != 4 {
+		t.Errorf("Percentile(p>100) = %g, want max 4", got)
+	}
+	if got, want := Percentile(xs, 50), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Percentile(50) = %g, want %g", got, want)
+	}
+	if got, want := Percentile(xs, 25), 1.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Percentile(25) = %g, want %g", got, want)
+	}
+	if got, want := Median(xs), 2.5; got != want {
+		t.Errorf("Median = %g, want %g", got, want)
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Errorf("Percentile sorted the caller's slice: %v", xs)
+	}
+}
+
+func TestLogLog(t *testing.T) {
+	if got := LogLog(2); got != 0 {
+		t.Errorf("LogLog(2) = %g, want 0", got)
+	}
+	if got := LogLog(0); got != 0 {
+		t.Errorf("LogLog(0) = %g, want 0", got)
+	}
+	if got, want := LogLog(16), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("LogLog(16) = %g, want %g", got, want)
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("empty/singleton descriptive stats not zero")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("Min/Max of empty slice not ±Inf")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("LinearFit = (%g, %g), want (2, 1)", slope, intercept)
+	}
+	slope, intercept = LinearFit([]float64{5, 5}, []float64{1, 3})
+	if slope != 0 || intercept != 2 {
+		t.Errorf("degenerate LinearFit = (%g, %g), want (0, 2)", slope, intercept)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{-1, 0.1, 0.5, 0.9, 2}, 0, 1, 2)
+	// Bins are [0, 0.5) and [0.5, 1]; -1 clamps low, 2 clamps high.
+	if len(counts) != 2 || counts[0] != 2 || counts[1] != 3 {
+		t.Errorf("Histogram = %v, want [2 3] (out-of-range clamped)", counts)
+	}
+	if Histogram(nil, 0, 1, 0) != nil || Histogram(nil, 1, 0, 3) != nil {
+		t.Error("invalid Histogram parameters should return nil")
+	}
+}
