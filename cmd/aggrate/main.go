@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -94,6 +95,9 @@ func cmdRun(args []string) error {
 	if *format != "json" && *format != "csv" {
 		return fmt.Errorf("unknown --format %q (want json or csv)", *format)
 	}
+	if *summaryOnly && *format != "json" {
+		return fmt.Errorf("--summary-only requires --format json (csv has no summary form)")
+	}
 	scList, err := parseScenarios(*scenarios)
 	if err != nil {
 		return err
@@ -115,7 +119,7 @@ func cmdRun(args []string) error {
 	}
 	specs := experiment.Expand(scList, nList, *seeds, powerList, base)
 	fmt.Fprintf(os.Stderr, "aggrate: running %d instances on %d workers\n",
-		len(specs), effectiveWorkers(*workers, len(specs)))
+		len(specs), experiment.Workers(*workers, len(specs)))
 	start := time.Now()
 	results := experiment.RunBatch(specs, *workers)
 	elapsed := time.Since(start)
@@ -133,8 +137,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer closeFn()
-
+	var werr error
 	switch *format {
 	case "json":
 		payload := map[string]any{
@@ -145,15 +148,15 @@ func cmdRun(args []string) error {
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(payload); err != nil {
-			return err
-		}
+		werr = enc.Encode(payload)
 	case "csv":
-		if err := writeCSV(w, results); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown --format %q (want json or csv)", *format)
+		werr = writeCSV(w, results)
+	}
+	if cerr := closeFn(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d instance(s) failed; see the error field in the output", failed)
@@ -263,7 +266,7 @@ func cmdBench(args []string) error {
 			if entry.BuildSec > 0 {
 				entry.Speedup = entry.NaiveSec / entry.BuildSec
 			}
-			matched := ng.Edges() == g.Edges()
+			matched := sameEdgeSet(ng, g)
 			entry.EdgesMatched = &matched
 		}
 
@@ -286,10 +289,13 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer closeFn()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	werr := enc.Encode(report)
+	if cerr := closeFn(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 func parseScenarios(s string) ([]experiment.Scenario, error) {
@@ -332,23 +338,31 @@ func splitList(s string) []string {
 	return out
 }
 
-func effectiveWorkers(workers, jobs int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// sameEdgeSet reports whether two conflict graphs over the same link set
+// have identical edges, by full adjacency comparison (both builds emit
+// sorted adjacency, so slice equality is edge-set equality).
+func sameEdgeSet(a, b *conflict.Graph) bool {
+	if a.Edges() != b.Edges() || len(a.Adj) != len(b.Adj) {
+		return false
 	}
-	if workers > jobs {
-		workers = jobs
+	for i := range a.Adj {
+		if !slices.Equal(a.Adj[i], b.Adj[i]) {
+			return false
+		}
 	}
-	return workers
+	return true
 }
 
-func openOut(path string) (io.Writer, func(), error) {
+// openOut returns the output writer and a close function whose error must
+// be checked after the last write: for files it is (*os.File).Close, which
+// is where a full disk or NFS flush failure surfaces.
+func openOut(path string) (io.Writer, func() error, error) {
 	if path == "-" || path == "" {
-		return os.Stdout, func() {}, nil
+		return os.Stdout, func() error { return nil }, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() { f.Close() }, nil
+	return f, f.Close, nil
 }

@@ -147,10 +147,35 @@ type classGrid struct {
 	size  float64 // cell side length
 	maxL  float64 // actual maximum link length in the class
 	minL  float64 // actual minimum link length in the class
+	// Bounding box of the occupied cells. Scan rectangles are clamped to
+	// it, so a search radius far larger than the class extent (possible for
+	// LogThreshold with α near 2) costs no more than the extent itself.
+	minCX, maxCX, minCY, maxCY int64
 }
 
 func (cg *classGrid) key(p geom.Point) cellKey {
 	return cellKey{int64(math.Floor(p.X / cg.size)), int64(math.Floor(p.Y / cg.size))}
+}
+
+func (cg *classGrid) extend(k cellKey) {
+	cg.minCX = min(cg.minCX, k.x)
+	cg.maxCX = max(cg.maxCX, k.x)
+	cg.minCY = min(cg.minCY, k.y)
+	cg.maxCY = max(cg.maxCY, k.y)
+}
+
+// clampCell converts a floored cell coordinate to int64, clamped to
+// [lo, hi]. The comparison-first form keeps out-of-int64-range values
+// (possible when the search radius dwarfs the cell size) away from the
+// implementation-defined float→int conversion; NaN clamps to lo.
+func clampCell(v float64, lo, hi int64) int64 {
+	if !(v > float64(lo)) {
+		return lo
+	}
+	if v > float64(hi) {
+		return hi
+	}
+	return int64(v)
 }
 
 // buildBucketed is the grid-bucketed parallel construction. It returns nil
@@ -212,7 +237,11 @@ func buildBucketed(links []geom.Link, f Func) *Graph {
 		}
 		class[i] = c
 		if grids[c] == nil {
-			grids[c] = &classGrid{cells: make(map[cellKey][]int32), maxL: lens[i], minL: lens[i]}
+			grids[c] = &classGrid{
+				cells: make(map[cellKey][]int32), maxL: lens[i], minL: lens[i],
+				minCX: math.MaxInt64, maxCX: math.MinInt64,
+				minCY: math.MaxInt64, maxCY: math.MinInt64,
+			}
 		} else {
 			g := grids[c]
 			g.maxL = math.Max(g.maxL, lens[i])
@@ -233,8 +262,10 @@ func buildBucketed(links []geom.Link, f Func) *Graph {
 		sk := cg.key(links[i].S)
 		rk := cg.key(links[i].R)
 		cg.cells[sk] = append(cg.cells[sk], int32(i))
+		cg.extend(sk)
 		if rk != sk {
 			cg.cells[rk] = append(cg.cells[rk], int32(i))
+			cg.extend(rk)
 		}
 	}
 
@@ -305,24 +336,56 @@ func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGr
 		}
 		r := li * f.Eval(x) * (1 + 1e-9)
 		s := cg.size
-		for _, p := range [2]geom.Point{links[i].S, links[i].R} {
-			x0 := int64(math.Floor((p.X - r) / s))
-			x1 := int64(math.Floor((p.X + r) / s))
-			y0 := int64(math.Floor((p.Y - r) / s))
-			y1 := int64(math.Floor((p.Y + r) / s))
+		var px0, px1, py0, py1 int64
+		for pi, p := range [2]geom.Point{links[i].S, links[i].R} {
+			// Clamp the scan rectangle to the class's occupied-cell bounding
+			// box: cells outside it are empty, so clamping never drops a
+			// candidate, and it keeps a huge r (e.g. LogThreshold with α near
+			// 2, where r/size can exceed 1e6) from inflating the loop bounds.
+			x0 := clampCell(math.Floor((p.X-r)/s), cg.minCX, cg.maxCX)
+			x1 := clampCell(math.Floor((p.X+r)/s), cg.minCX, cg.maxCX)
+			y0 := clampCell(math.Floor((p.Y-r)/s), cg.minCY, cg.maxCY)
+			y1 := clampCell(math.Floor((p.Y+r)/s), cg.minCY, cg.maxCY)
+			// Both endpoints often clamp to the same rectangle (always, in
+			// the huge-radius regime where each covers the whole bounding
+			// box); the second scan would revisit every cell for nothing.
+			if pi == 1 && x0 == px0 && x1 == px1 && y0 == py0 && y1 == py1 {
+				continue
+			}
+			px0, px1, py0, py1 = x0, x1, y0, y1
+			if float64(x1-x0+1)*float64(y1-y0+1) > float64(len(cg.cells)) {
+				// The rectangle holds more cells than the class occupies
+				// (sparse class spread over a wide extent): iterating it
+				// would mostly visit empty cells, so walk the occupied
+				// cells and test rectangle membership instead.
+				for k, cell := range cg.cells {
+					if k.x < x0 || k.x > x1 || k.y < y0 || k.y > y1 {
+						continue
+					}
+					scanCell(links, f, i, ci == c, cell, stamp, out)
+				}
+				continue
+			}
 			for cx := x0; cx <= x1; cx++ {
 				for cy := y0; cy <= y1; cy++ {
-					for _, j := range cg.cells[cellKey{cx, cy}] {
-						if j == i || (c == ci && j < i) || stamp[j] == i {
-							continue
-						}
-						stamp[j] = i
-						if Conflicting(f, links[i], links[j]) {
-							*out = append(*out, j)
-						}
-					}
+					scanCell(links, f, i, ci == c, cg.cells[cellKey{cx, cy}], stamp, out)
 				}
 			}
+		}
+	}
+}
+
+// scanCell runs the exact conflict test against every candidate in one
+// grid cell, recording the neighbors link i owns.
+func scanCell(links []geom.Link, f Func, i int32, sameClass bool, cell []int32,
+	stamp []int32, out *[]int32) {
+	for _, j := range cell {
+		if j == i || (sameClass && j < i) || stamp[j] == i {
+			continue
+		}
+		stamp[j] = i
+		if Conflicting(f, links[i], links[j]) {
+			*out = append(*out, j)
 		}
 	}
 }

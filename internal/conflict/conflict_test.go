@@ -51,7 +51,8 @@ func testFuncs() []Func {
 		PowerLaw(2, 0.5),
 		PowerLaw(1, 0.25),
 		LogThreshold(1.5, 3),
-		LogThreshold(2, 2.5), // exponent 4: log factor overtakes x on a wide range
+		LogThreshold(2, 2.5),   // exponent 4: log factor overtakes x on a wide range
+		LogThreshold(1.5, 2.1), // exponent 20: search radius dwarfs the grid extent
 	}
 }
 
@@ -149,6 +150,25 @@ func TestZeroLengthFallsBack(t *testing.T) {
 	if got, want := g.Degree(1), len(links)-1; got != want {
 		t.Fatalf("zero-length link degree = %d, want %d (conflicts with all)", got, want)
 	}
+}
+
+// TestHugeRadiusTerminates pins the fix for the unbounded cell scan: for
+// LogThreshold with α near 2 the cross-class search radius can exceed the
+// cell size by a factor of 1e6+, and an unclamped rectangle loop would
+// visit ~1e12 cells per link, so Build effectively never finished. The
+// clamped scan must complete promptly and still match the naive oracle.
+func TestHugeRadiusTerminates(t *testing.T) {
+	links := annulusLinks(t, 400, 4)
+	f := LogThreshold(1.5, 2.1)
+	done := make(chan *Graph, 1)
+	go func() { done <- Build(links, f) }()
+	var g *Graph
+	select {
+	case g = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Build did not terminate within 30s on annulus links with LogThreshold(1.5, 2.1)")
+	}
+	graphsEqual(t, BuildNaive(links, f), g, "huge-radius")
 }
 
 // TestBucketedFasterAt10k is the performance half of the acceptance

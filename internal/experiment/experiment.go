@@ -294,7 +294,10 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 		N:        spec.N, Seed: spec.Seed,
 		Power: spec.Power, Graph: spec.Graph,
 	}
+	// TotalSec is stamped on every exit path, so stage timings of a run
+	// that failed mid-pipeline still come with their wall-clock total.
 	start := time.Now()
+	defer func() { res.Timings.TotalSec = time.Since(start).Seconds() }()
 
 	t0 := time.Now()
 	pts := spec.Scenario.Generate(spec.N, spec.Seed)
@@ -334,13 +337,15 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 		if err != nil {
 			return nil, res, err
 		}
+		// Stage timings accumulate across escalation attempts so that they
+		// still sum to TotalSec when verification forces a rebuild.
 		t0 = time.Now()
 		g := conflict.Build(links, f)
-		res.Timings.BuildSec = time.Since(t0).Seconds()
+		res.Timings.BuildSec += time.Since(t0).Seconds()
 
 		t0 = time.Now()
 		colors, numColors := coloring.GreedyByLength(g)
-		res.Timings.ColorSec = time.Since(t0).Seconds()
+		res.Timings.ColorSec += time.Since(t0).Seconds()
 		sched, err := schedule.FromColoring(links, colors)
 		if err != nil {
 			return nil, res, err
@@ -364,7 +369,7 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 		}
 		t0 = time.Now()
 		margin, verr := sched.VerifySINR(spec.SINR, pf)
-		res.Timings.VerifySec = time.Since(t0).Seconds()
+		res.Timings.VerifySec += time.Since(t0).Seconds()
 		if verr == nil {
 			inst.Margin = margin
 			res.Margin = math.Min(margin, marginClamp)
@@ -372,7 +377,6 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 			break
 		}
 		if attempt >= spec.MaxGammaRetries {
-			res.Timings.TotalSec = time.Since(start).Seconds()
 			return inst, res, fmt.Errorf("experiment: schedule still infeasible after %d gamma escalations (gamma=%.3g): %w",
 				attempt, gamma, verr)
 		}
@@ -389,7 +393,6 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 		inst.RefineSets = sets
 		res.RefineSets = len(sets)
 	}
-	res.Timings.TotalSec = time.Since(start).Seconds()
 	return inst, res, nil
 }
 
@@ -398,12 +401,7 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 // instance is seeded independently, so the output is deterministic in the
 // specs regardless of worker count or scheduling.
 func RunBatch(specs []Spec, workers int) []*Result {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(specs) {
-		workers = len(specs)
-	}
+	workers = Workers(workers, len(specs))
 	out := make([]*Result, len(specs))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -422,6 +420,18 @@ func RunBatch(specs []Spec, workers int) []*Result {
 	}
 	wg.Wait()
 	return out
+}
+
+// Workers resolves a requested worker count to the one RunBatch will
+// actually use: GOMAXPROCS when workers <= 0, clamped to the job count.
+func Workers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	return workers
 }
 
 // Expand builds the (scenario × n × seed × power) cross product of specs,
@@ -528,9 +538,10 @@ func Aggregate(results []*Result) []Summary {
 			lengths = append(lengths, float64(r.ScheduleLength))
 			rates = append(rates, r.Rate)
 			edges = append(edges, float64(r.Edges))
-			// Clamped margins stand in for +Inf (singleton slots under zero
-			// noise); averaging the 1e30 sentinel would drown real margins.
-			if r.Margin < marginClamp {
+			// Margins are only measured when verification ran. Clamped
+			// margins stand in for +Inf (singleton slots under zero noise);
+			// averaging the 1e30 sentinel would drown real margins.
+			if r.Verified && r.Margin < marginClamp {
 				margins = append(margins, r.Margin)
 			}
 			gammas = append(gammas, r.GammaUsed)
