@@ -1,23 +1,30 @@
 // Command aggrate runs the paper's aggregation-scheduling experiment loop
-// end-to-end: deployment scenario → MST aggregation tree → conflict graph →
-// greedy length-class coloring → TDMA schedule → SINR verification.
+// end-to-end: deployment scenario → MST aggregation tree → scheduling
+// strategy (conflict graph + coloring) → TDMA schedule → SINR verification.
 //
 // Subcommands:
 //
-//	aggrate run   — execute a (scenario × n × seed × power) batch, emit JSON or CSV
-//	aggrate bench — time the conflict-graph build (bucketed vs naive) and the
-//	                full pipeline across instance sizes, emit BENCH_pipeline.json
+//	aggrate run     — execute a (scenario × n × seed × power × algo) batch,
+//	                  emit JSON or CSV
+//	aggrate compare — run every scheduling strategy on identical instances
+//	                  and print a per-strategy comparison table
+//	aggrate bench   — time the conflict-graph build (bucketed vs naive) and
+//	                  the full pipeline per strategy across instance sizes,
+//	                  emit BENCH_pipeline.json
 //
 // Examples:
 //
 //	aggrate run --scenario uniform --n 50000 --seeds 4
 //	aggrate run --scenario cluster,annulus --n 1000,4000 --seeds 8 --power mean,global --format csv
+//	aggrate run --scenario uniform --n 10000 --algo greedy,lengthclass --seeds 4
+//	aggrate compare --scenario uniform --n 5000 --seeds 3
 //	aggrate bench --sizes 1000,5000,10000,20000 --out BENCH_pipeline.json
 package main
 
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,65 +33,158 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"aggrate/internal/conflict"
 	"aggrate/internal/experiment"
 	"aggrate/internal/mst"
 	"aggrate/internal/scenario"
+	"aggrate/internal/scheduler"
 	"aggrate/internal/sinr"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runMain is the testable entry point: it dispatches the subcommand and maps
+// errors to exit codes (0 ok, 1 runtime failure, 2 usage).
+func runMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		err = cmdCompare(args[1:], stdout, stderr)
 	case "bench":
-		err = cmdBench(os.Args[2:])
+		err = cmdBench(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
-		usage()
+		usage(stderr)
+		return 0
 	default:
-		fmt.Fprintf(os.Stderr, "aggrate: unknown subcommand %q\n\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "aggrate: unknown subcommand %q\n\n", args[0])
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aggrate: %v\n", err)
-		os.Exit(1)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		// An explicit help request is a success, matching flag.ExitOnError's
+		// exit(0) convention; the flag package already printed the usage.
+		return 0
+	default:
+		fmt.Fprintf(stderr, "aggrate: %v\n", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: aggrate <run|bench> [flags]
+func usage(w io.Writer) {
+	fmt.Fprintf(w, `usage: aggrate <run|compare|bench> [flags]
 
-run   executes an experiment batch; see 'aggrate run -h'
-bench times conflict-graph builds and the full pipeline; see 'aggrate bench -h'
+run     executes an experiment batch; see 'aggrate run -h'
+compare runs all scheduling strategies on identical instances; see 'aggrate compare -h'
+bench   times conflict-graph builds and the full pipeline; see 'aggrate bench -h'
 
 scenario presets: %s
-`, strings.Join(scenario.PresetNames(), ", "))
+algorithms:       %s
+`, strings.Join(scenario.PresetNames(), ", "), strings.Join(scheduler.Names(), ", "))
 }
 
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	scenarios := fs.String("scenario", "uniform", "comma-separated scenario presets")
-	ns := fs.String("n", "1000", "comma-separated instance sizes (nodes)")
-	seeds := fs.Int("seeds", 1, "seeds per (scenario, n, power) cell")
-	seed := fs.Uint64("seed", 1, "base seed; instance k uses seed+k")
+// newFlagSet returns a subcommand flag set that reports parse errors instead
+// of exiting, so runMain stays testable.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+var validPowers = []string{
+	experiment.PowerUniform, experiment.PowerMean, experiment.PowerLinear, experiment.PowerGlobal,
+}
+
+var validGraphs = []string{
+	experiment.GraphGamma, experiment.GraphOblivious, experiment.GraphArbitrary,
+}
+
+// validateChoices rejects values outside the valid set up front, so flag
+// typos fail fast instead of surfacing as per-instance errors mid-batch.
+func validateChoices(flagName string, given, valid []string) error {
+	for _, g := range given {
+		if !slices.Contains(valid, g) {
+			return fmt.Errorf("unknown --%s %q (want one of %s)",
+				flagName, g, strings.Join(valid, ", "))
+		}
+	}
+	if len(given) == 0 {
+		return fmt.Errorf("--%s is empty (want one of %s)", flagName, strings.Join(valid, ", "))
+	}
+	return nil
+}
+
+// specFlags registers the instance-shaping flags shared by run and compare;
+// resolve validates them and materializes the scenario list, size list, and
+// base Spec.
+type specFlags struct {
+	scenarios, ns, graph             *string
+	seeds, workers                   *int
+	seed                             *uint64
+	gamma, delta, alpha, beta, noise *float64
+	verify                           *bool
+}
+
+func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlags {
+	return &specFlags{
+		scenarios: fs.String("scenario", "uniform", "comma-separated scenario presets"),
+		ns:        fs.String("n", defaultN, "comma-separated instance sizes (nodes)"),
+		seeds:     fs.Int("seeds", defaultSeeds, "seeds per parameter cell (every algorithm sees the same seeds)"),
+		seed:      fs.Uint64("seed", 1, "base seed; instance k uses seed+k"),
+		graph:     fs.String("graph", "obl", "conflict graph kind (gamma, obl, arb)"),
+		gamma:     fs.Float64("gamma", 2, "initial conflict parameter γ"),
+		delta:     fs.Float64("delta", 0.5, "exponent δ of G^δ_γ (graph=obl)"),
+		alpha:     fs.Float64("alpha", 3, "path-loss exponent α > 2"),
+		beta:      fs.Float64("beta", 2, "SINR threshold β"),
+		noise:     fs.Float64("noise", 0, "ambient noise N"),
+		verify:    fs.Bool("verify", true, "verify every slot against the SINR condition, escalating γ on failure"),
+		workers:   fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)"),
+	}
+}
+
+func (sf *specFlags) resolve() ([]experiment.Scenario, []int, experiment.Spec, error) {
+	var zero experiment.Spec
+	scList, err := parseScenarios(*sf.scenarios)
+	if err != nil {
+		return nil, nil, zero, err
+	}
+	nList, err := parseInts(*sf.ns)
+	if err != nil {
+		return nil, nil, zero, fmt.Errorf("bad --n: %w", err)
+	}
+	if err := validateChoices("graph", []string{*sf.graph}, validGraphs); err != nil {
+		return nil, nil, zero, err
+	}
+	base := experiment.Spec{
+		Seed:   *sf.seed,
+		Graph:  *sf.graph,
+		Gamma:  *sf.gamma,
+		Delta:  *sf.delta,
+		SINR:   sinr.Params{Alpha: *sf.alpha, Beta: *sf.beta, Noise: *sf.noise, Epsilon: 0.5},
+		Verify: *sf.verify,
+	}
+	return scList, nList, base, nil
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("run", stderr)
+	sf := addSpecFlags(fs, "1000", 1)
 	powers := fs.String("power", "mean", "comma-separated power schemes (uniform, mean, linear, global)")
-	graph := fs.String("graph", "obl", "conflict graph kind (gamma, obl, arb)")
-	gamma := fs.Float64("gamma", 2, "initial conflict parameter γ")
-	delta := fs.Float64("delta", 0.5, "exponent δ of G^δ_γ (graph=obl)")
-	alpha := fs.Float64("alpha", 3, "path-loss exponent α > 2")
-	beta := fs.Float64("beta", 2, "SINR threshold β")
-	noise := fs.Float64("noise", 0, "ambient noise N")
+	algos := fs.String("algo", scheduler.Greedy, "comma-separated scheduling algorithms ("+strings.Join(scheduler.Names(), ", ")+")")
 	refine := fs.Bool("refine", false, "also run the Theorem-2 refinement (O(n²); slow above ~20k links)")
-	verify := fs.Bool("verify", true, "verify every slot against the SINR condition, escalating γ on failure")
-	workers := fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)")
 	format := fs.String("format", "json", "output format: json or csv")
 	out := fs.String("out", "-", "output path ('-' = stdout)")
 	summaryOnly := fs.Bool("summary-only", false, "emit only the aggregated summaries (json)")
@@ -98,30 +198,25 @@ func cmdRun(args []string) error {
 	if *summaryOnly && *format != "json" {
 		return fmt.Errorf("--summary-only requires --format json (csv has no summary form)")
 	}
-	scList, err := parseScenarios(*scenarios)
+	scList, nList, base, err := sf.resolve()
 	if err != nil {
 		return err
 	}
-	nList, err := parseInts(*ns)
-	if err != nil {
-		return fmt.Errorf("bad --n: %w", err)
-	}
 	powerList := splitList(*powers)
-
-	base := experiment.Spec{
-		Seed:   *seed,
-		Graph:  *graph,
-		Gamma:  *gamma,
-		Delta:  *delta,
-		SINR:   sinr.Params{Alpha: *alpha, Beta: *beta, Noise: *noise, Epsilon: 0.5},
-		Refine: *refine,
-		Verify: *verify,
+	if err := validateChoices("power", powerList, validPowers); err != nil {
+		return err
 	}
-	specs := experiment.Expand(scList, nList, *seeds, powerList, base)
-	fmt.Fprintf(os.Stderr, "aggrate: running %d instances on %d workers\n",
-		len(specs), experiment.Workers(*workers, len(specs)))
+	algoList := splitList(*algos)
+	if err := validateChoices("algo", algoList, scheduler.Names()); err != nil {
+		return err
+	}
+
+	base.Refine = *refine
+	specs := experiment.Expand(scList, nList, *sf.seeds, powerList, algoList, base)
+	fmt.Fprintf(stderr, "aggrate: running %d instances on %d workers\n",
+		len(specs), experiment.Workers(*sf.workers, len(specs)))
 	start := time.Now()
-	results := experiment.RunBatch(specs, *workers)
+	results := experiment.RunBatch(specs, *sf.workers)
 	elapsed := time.Since(start)
 
 	failed := 0
@@ -130,10 +225,10 @@ func cmdRun(args []string) error {
 			failed++
 		}
 	}
-	fmt.Fprintf(os.Stderr, "aggrate: %d/%d instances ok in %.2fs\n",
+	fmt.Fprintf(stderr, "aggrate: %d/%d instances ok in %.2fs\n",
 		len(results)-failed, len(results), elapsed.Seconds())
 
-	w, closeFn, err := openOut(*out)
+	w, closeFn, err := openOut(*out, stdout)
 	if err != nil {
 		return err
 	}
@@ -167,10 +262,10 @@ func cmdRun(args []string) error {
 func writeCSV(w io.Writer, results []*experiment.Result) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"scenario", "n", "seed", "power", "graph", "links", "diversity",
+		"scenario", "n", "seed", "power", "graph", "algo", "links", "diversity",
 		"logstar", "edges", "max_degree", "colors", "schedule_length",
-		"rate", "colors_per_logstar", "gamma_used", "gamma_retries",
-		"margin", "verified", "refine_sets", "total_sec", "error",
+		"rate", "colors_per_logstar", "length_classes", "gamma_used",
+		"gamma_retries", "margin", "verified", "refine_sets", "total_sec", "error",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -179,10 +274,11 @@ func writeCSV(w io.Writer, results []*experiment.Result) error {
 	for _, r := range results {
 		row := []string{
 			r.Scenario, strconv.Itoa(r.N), strconv.FormatUint(r.Seed, 10),
-			r.Power, r.Graph, strconv.Itoa(r.Links), f(r.Diversity),
+			r.Power, r.Graph, r.Algo, strconv.Itoa(r.Links), f(r.Diversity),
 			strconv.Itoa(r.LogStar), strconv.Itoa(r.Edges),
 			strconv.Itoa(r.MaxDegree), strconv.Itoa(r.Colors),
 			strconv.Itoa(r.ScheduleLength), f(r.Rate), f(r.ColorsPerLogStar),
+			strconv.Itoa(r.Classes),
 			f(r.GammaUsed), strconv.Itoa(r.GammaRetries), f(r.Margin),
 			strconv.FormatBool(r.Verified), strconv.Itoa(r.RefineSets),
 			f(r.Timings.TotalSec), r.Err,
@@ -195,21 +291,136 @@ func writeCSV(w io.Writer, results []*experiment.Result) error {
 	return cw.Error()
 }
 
+// cmdCompare runs every requested strategy on identical instances (same
+// scenario, n, seed, power, graph — hence the same pointsets and trees) and
+// prints a per-strategy table: mean colors, schedule length, rate, the
+// paper's normalized colors/log*Δ, and wall time. --out optionally saves the
+// full results + summaries as JSON for the CI artifact.
+func cmdCompare(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("compare", stderr)
+	sf := addSpecFlags(fs, "5000", 3)
+	power := fs.String("power", "mean", "power scheme shared by all algorithms")
+	algos := fs.String("algo", strings.Join(scheduler.Names(), ","), "comma-separated algorithms to compare")
+	out := fs.String("out", "", "also write full results + summaries as JSON to this path ('-' = stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scList, nList, base, err := sf.resolve()
+	if err != nil {
+		return err
+	}
+	if err := validateChoices("power", []string{*power}, validPowers); err != nil {
+		return err
+	}
+	algoList := splitList(*algos)
+	if err := validateChoices("algo", algoList, scheduler.Names()); err != nil {
+		return err
+	}
+
+	specs := experiment.Expand(scList, nList, *sf.seeds, []string{*power}, algoList, base)
+	fmt.Fprintf(stderr, "aggrate: comparing %d algorithms over %d instances on %d workers\n",
+		len(algoList), len(specs), experiment.Workers(*sf.workers, len(specs)))
+	start := time.Now()
+	results := experiment.RunBatch(specs, *sf.workers)
+	fmt.Fprintf(stderr, "aggrate: done in %.2fs\n", time.Since(start).Seconds())
+
+	summaries := experiment.Aggregate(results)
+	writeCompareTable(stdout, summaries)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+		}
+	}
+	if *out != "" {
+		w, closeFn, err := openOut(*out, stdout)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		werr := enc.Encode(map[string]any{"summaries": summaries, "results": results})
+		if cerr := closeFn(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d instance(s) failed; see the error field in the output", failed)
+	}
+	return nil
+}
+
+// writeCompareTable renders one table block per (scenario, n, power, graph)
+// cell, one row per algorithm. Aggregate returns the summaries sorted with
+// algo as the innermost key, so cells are contiguous runs.
+func writeCompareTable(w io.Writer, summaries []experiment.Summary) {
+	type cell struct {
+		Scenario string
+		N        int
+		Power    string
+		Graph    string
+	}
+	var cur cell
+	var tw *tabwriter.Writer
+	flush := func() {
+		if tw != nil {
+			tw.Flush()
+		}
+	}
+	for _, s := range summaries {
+		c := cell{s.Scenario, s.N, s.Power, s.Graph}
+		if c != cur || tw == nil {
+			flush()
+			cur = c
+			fmt.Fprintf(w, "\nscenario=%s n=%d power=%s graph=%s seeds=%d log*Δ=%.0f\n",
+				s.Scenario, s.N, s.Power, s.Graph, s.Seeds, s.MeanLogStar)
+			tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprintln(tw, "  algo\tcolors\tsched_len\trate\tcolors/log*Δ\tgamma\terrors\ttime")
+		}
+		fmt.Fprintf(tw, "  %s\t%.1f\t%.1f\t%.5f\t%.2f\t%.3g\t%d/%d\t%.3fs\n",
+			s.Algo, s.MeanColors, s.MeanLength, s.MeanRate, s.MeanColorsPerLogStar,
+			s.MeanGamma, s.Errors, s.Seeds, s.MeanTotalSec)
+	}
+	flush()
+}
+
+// AlgoBench is the per-strategy slice of one bench entry: the full pipeline
+// (schedule + verification with γ escalation) timed per algorithm on the
+// same instance.
+type AlgoBench struct {
+	Algo             string  `json:"algo"`
+	Colors           int     `json:"colors"`
+	ScheduleLength   int     `json:"schedule_length"`
+	Rate             float64 `json:"rate"`
+	ColorsPerLogStar float64 `json:"colors_per_logstar"`
+	PipelineSec      float64 `json:"pipeline_sec"`
+	GammaRetries     int     `json:"gamma_retries"`
+	Verified         bool    `json:"verified"`
+}
+
 // BenchEntry is one row of the bench report. EdgesMatched is only present
 // when the naive reference actually ran (n ≤ --naive-max); absent means
-// "not cross-checked at this size", never "checked and passed".
+// "not cross-checked at this size", never "checked and passed". The legacy
+// top-level pipeline fields mirror the first requested algorithm's
+// AlgoBench row (greedy, under the default --algo list).
 type BenchEntry struct {
-	N            int     `json:"n"`
-	Links        int     `json:"links"`
-	Edges        int     `json:"edges"`
-	BuildSec     float64 `json:"build_sec"`
-	NaiveSec     float64 `json:"naive_sec,omitempty"`
-	Speedup      float64 `json:"speedup,omitempty"`
-	MSTSec       float64 `json:"mst_sec"`
-	PipelineSec  float64 `json:"pipeline_sec"`
-	Colors       int     `json:"colors"`
-	Verified     bool    `json:"verified"`
-	EdgesMatched *bool   `json:"edges_matched,omitempty"`
+	N            int         `json:"n"`
+	Links        int         `json:"links"`
+	Edges        int         `json:"edges"`
+	BuildSec     float64     `json:"build_sec"`
+	NaiveSec     float64     `json:"naive_sec,omitempty"`
+	Speedup      float64     `json:"speedup,omitempty"`
+	MSTSec       float64     `json:"mst_sec"`
+	PipelineSec  float64     `json:"pipeline_sec"`
+	Colors       int         `json:"colors"`
+	Verified     bool        `json:"verified"`
+	EdgesMatched *bool       `json:"edges_matched,omitempty"`
+	Algos        []AlgoBench `json:"algos"`
 }
 
 // BenchReport is the schema of BENCH_pipeline.json.
@@ -220,12 +431,13 @@ type BenchReport struct {
 	Entries    []BenchEntry `json:"entries"`
 }
 
-func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+func cmdBench(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("bench", stderr)
 	sizes := fs.String("sizes", "1000,2000,5000,10000,20000", "comma-separated instance sizes")
 	naiveMax := fs.Int("naive-max", 20000, "largest n to also time the O(n²) reference build at")
 	seed := fs.Uint64("seed", 1, "instance seed")
 	preset := fs.String("scenario", "uniform", "scenario preset to benchmark on")
+	algos := fs.String("algo", strings.Join(scheduler.Names(), ","), "comma-separated algorithms to time the pipeline with")
 	out := fs.String("out", "BENCH_pipeline.json", "output path ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -236,6 +448,10 @@ func cmdBench(args []string) error {
 	}
 	sc, err := scenario.Lookup(*preset)
 	if err != nil {
+		return err
+	}
+	algoList := splitList(*algos)
+	if err := validateChoices("algo", algoList, scheduler.Names()); err != nil {
 		return err
 	}
 
@@ -270,22 +486,43 @@ func cmdBench(args []string) error {
 			entry.EdgesMatched = &matched
 		}
 
-		spec := experiment.NewSpec(sc, n, *seed)
-		t0 = time.Now()
-		res := experiment.Run(spec)
-		entry.PipelineSec = time.Since(t0).Seconds()
-		entry.Colors = res.Colors
-		entry.Verified = res.Verified
-		if res.Err != "" {
-			return fmt.Errorf("bench pipeline at n=%d: %s", n, res.Err)
+		// Per-strategy pipeline trajectory on the same instance.
+		for _, algo := range algoList {
+			spec := experiment.NewSpec(sc, n, *seed)
+			spec.Algo = algo
+			t0 = time.Now()
+			res := experiment.Run(spec)
+			sec := time.Since(t0).Seconds()
+			if res.Err != "" {
+				return fmt.Errorf("bench pipeline algo=%s n=%d: %s", algo, n, res.Err)
+			}
+			ab := AlgoBench{
+				Algo:             algo,
+				Colors:           res.Colors,
+				ScheduleLength:   res.ScheduleLength,
+				Rate:             res.Rate,
+				ColorsPerLogStar: res.ColorsPerLogStar,
+				PipelineSec:      sec,
+				GammaRetries:     res.GammaRetries,
+				Verified:         res.Verified,
+			}
+			entry.Algos = append(entry.Algos, ab)
+			if algo == algoList[0] {
+				entry.PipelineSec = sec
+				entry.Colors = res.Colors
+				entry.Verified = res.Verified
+			}
+			fmt.Fprintf(stderr,
+				"aggrate bench: n=%-6d algo=%-11s colors=%-5d rate=%.5f c/log*=%.2f pipeline=%.3fs\n",
+				n, algo, ab.Colors, ab.Rate, ab.ColorsPerLogStar, sec)
 		}
 		report.Entries = append(report.Entries, entry)
-		fmt.Fprintf(os.Stderr,
-			"aggrate bench: n=%-6d links=%-6d edges=%-7d build=%.3fs naive=%.3fs pipeline=%.3fs colors=%d\n",
-			n, entry.Links, entry.Edges, entry.BuildSec, entry.NaiveSec, entry.PipelineSec, entry.Colors)
+		fmt.Fprintf(stderr,
+			"aggrate bench: n=%-6d links=%-6d edges=%-7d build=%.3fs naive=%.3fs\n",
+			n, entry.Links, entry.Edges, entry.BuildSec, entry.NaiveSec)
 	}
 
-	w, closeFn, err := openOut(*out)
+	w, closeFn, err := openOut(*out, stdout)
 	if err != nil {
 		return err
 	}
@@ -356,9 +593,9 @@ func sameEdgeSet(a, b *conflict.Graph) bool {
 // openOut returns the output writer and a close function whose error must
 // be checked after the last write: for files it is (*os.File).Close, which
 // is where a full disk or NFS flush failure surfaces.
-func openOut(path string) (io.Writer, func() error, error) {
+func openOut(path string, stdout io.Writer) (io.Writer, func() error, error) {
 	if path == "-" || path == "" {
-		return os.Stdout, func() error { return nil }, nil
+		return stdout, func() error { return nil }, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// runCLI invokes runMain with captured streams.
+func runCLI(args ...string) (stdout, stderr string, code int) {
+	var out, errw bytes.Buffer
+	code = runMain(args, &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+// timingKeys are the JSON fields whose values depend on wall clock, zeroed
+// before golden comparison. Everything else in the output is a deterministic
+// function of the seed.
+var timingKeys = map[string]bool{
+	"generate_sec": true, "mst_sec": true, "build_sec": true,
+	"color_sec": true, "refine_sec": true, "verify_sec": true,
+	"total_sec": true, "mean_total_sec": true, "pipeline_sec": true,
+	"naive_sec": true, "speedup": true, "gomaxprocs": true,
+}
+
+// normalizeJSON parses arbitrary JSON and zeroes every timing-dependent
+// field, then re-encodes with stable indentation.
+func normalizeJSON(t *testing.T, data string) string {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(data), &v); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, data)
+	}
+	v = scrub(v)
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out) + "\n"
+}
+
+func scrub(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			if timingKeys[k] {
+				x[k] = 0
+			} else {
+				x[k] = scrub(val)
+			}
+		}
+		return x
+	case []any:
+		for i, val := range x {
+			x[i] = scrub(val)
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// normalizeCSV zeroes the total_sec column.
+func normalizeCSV(t *testing.T, data string) string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, data)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty CSV output")
+	}
+	col := -1
+	for i, name := range rows[0] {
+		if name == "total_sec" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("CSV header has no total_sec column: %v", rows[0])
+	}
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	for r, row := range rows {
+		if r > 0 {
+			row[col] = "0"
+		}
+		if err := cw.Write(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cw.Flush()
+	return buf.String()
+}
+
+var tableTime = regexp.MustCompile(`\d+\.\d+s`)
+
+// normalizeTable blanks wall-clock durations in the human-readable compare
+// table.
+func normalizeTable(data string) string {
+	return tableTime.ReplaceAllString(data, "X.XXXs")
+}
+
+// checkGolden compares got against testdata/<name> (rewriting it under
+// -update).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run 'go test ./cmd/... -update'): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s.\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRunJSONGolden pins the full JSON output shape of `run` — results and
+// summaries across two algorithms on a tiny fixed-seed batch.
+func TestRunJSONGolden(t *testing.T) {
+	stdout, _, code := runCLI("run", "--scenario", "uniform", "--n", "60",
+		"--seeds", "2", "--seed", "7", "--algo", "greedy,lengthclass")
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	checkGolden(t, "run_json.golden", normalizeJSON(t, stdout))
+}
+
+// TestRunCSVGolden pins the CSV schema and row content.
+func TestRunCSVGolden(t *testing.T) {
+	stdout, _, code := runCLI("run", "--scenario", "uniform", "--n", "60",
+		"--seeds", "2", "--seed", "7", "--algo", "greedy,naive", "--format", "csv")
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	checkGolden(t, "run_csv.golden", normalizeCSV(t, stdout))
+}
+
+// TestRunSummaryOnlyGolden pins the summaries-only JSON form.
+func TestRunSummaryOnlyGolden(t *testing.T) {
+	stdout, _, code := runCLI("run", "--scenario", "line", "--n", "40",
+		"--seeds", "2", "--seed", "3", "--summary-only")
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	checkGolden(t, "run_summary.golden", normalizeJSON(t, stdout))
+}
+
+// TestBenchJSONGolden pins the bench report schema, including the
+// per-strategy trajectory, on a tiny instance.
+func TestBenchJSONGolden(t *testing.T) {
+	stdout, _, code := runCLI("bench", "--sizes", "80,120", "--seed", "5", "--out", "-")
+	if code != 0 {
+		t.Fatalf("bench exited %d", code)
+	}
+	checkGolden(t, "bench_json.golden", normalizeJSON(t, stdout))
+}
+
+// TestCompareTableGolden pins the human-readable compare table across all
+// four strategies.
+func TestCompareTableGolden(t *testing.T) {
+	stdout, _, code := runCLI("compare", "--scenario", "uniform", "--n", "80",
+		"--seeds", "2", "--seed", "9")
+	if code != 0 {
+		t.Fatalf("compare exited %d", code)
+	}
+	checkGolden(t, "compare_table.golden", normalizeTable(stdout))
+}
+
+// TestCompareJSONOut: --out - routes the JSON payload to stdout after the
+// table; both must stay parseable.
+func TestCompareJSONOut(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "compare.json")
+	_, _, code := runCLI("compare", "--scenario", "uniform", "--n", "60",
+		"--seeds", "1", "--out", path)
+	if code != 0 {
+		t.Fatalf("compare exited %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Summaries []json.RawMessage `json:"summaries"`
+		Results   []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatalf("compare --out payload not JSON: %v", err)
+	}
+	if len(payload.Summaries) != 4 || len(payload.Results) != 4 {
+		t.Fatalf("compare payload has %d summaries / %d results, want 4/4",
+			len(payload.Summaries), len(payload.Results))
+	}
+}
+
+// TestFlagValidation: bad flag combinations and unknown enum values must
+// fail fast with exit code 1 and a pointed message, before any instance
+// runs.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"summary-only csv", []string{"run", "--summary-only", "--format", "csv"}, "--summary-only requires --format json"},
+		{"bad format", []string{"run", "--format", "yaml"}, `unknown --format "yaml"`},
+		{"bad graph", []string{"run", "--graph", "bogus"}, `unknown --graph "bogus"`},
+		{"bad power", []string{"run", "--power", "bogus"}, `unknown --power "bogus"`},
+		{"bad algo", []string{"run", "--algo", "bogus"}, `unknown --algo "bogus"`},
+		{"empty algo", []string{"run", "--algo", ","}, "--algo is empty"},
+		{"bad scenario", []string{"run", "--scenario", "bogus"}, "bogus"},
+		{"bad n", []string{"run", "--n", "abc"}, "bad --n"},
+		{"compare bad algo", []string{"compare", "--algo", "bogus"}, `unknown --algo "bogus"`},
+		{"compare bad graph", []string{"compare", "--graph", "bogus"}, `unknown --graph "bogus"`},
+		{"compare bad power", []string{"compare", "--power", "bogus"}, `unknown --power "bogus"`},
+		{"bench bad algo", []string{"bench", "--algo", "bogus"}, `unknown --algo "bogus"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runCLI(tc.args...)
+			if code != 1 {
+				t.Fatalf("exit code %d, want 1 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Fatalf("stderr %q does not contain %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestUsagePaths: no arguments and unknown subcommands exit 2 with usage;
+// help exits 0.
+func TestUsagePaths(t *testing.T) {
+	if _, stderr, code := runCLI(); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("no args: code=%d stderr=%q", code, stderr)
+	}
+	if _, stderr, code := runCLI("frobnicate"); code != 2 || !strings.Contains(stderr, "unknown subcommand") {
+		t.Fatalf("unknown subcommand: code=%d stderr=%q", code, stderr)
+	}
+	if _, _, code := runCLI("help"); code != 0 {
+		t.Fatalf("help exited %d", code)
+	}
+	if _, _, code := runCLI("run", "-h"); code != 0 {
+		t.Fatalf("run -h exited %d, want 0 (explicit help request succeeds)", code)
+	}
+}

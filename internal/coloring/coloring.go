@@ -1,11 +1,12 @@
 // Package coloring provides the scheduling algorithms of Sec. 3: the greedy
 // first-fit coloring of conflict graphs (a constant-factor approximation
-// because the graphs have constant inductive independence, Appendix A) and
-// the first-fit refinement of Theorem 2 that splits an MST's links into a
-// constant number of sets S with I(i, S⁺ᵢ) < 1.
+// because the graphs have constant inductive independence, Appendix A), a
+// DSATUR baseline, and the first-fit refinement of Theorem 2 that splits an
+// MST's links into a constant number of sets S with I(i, S⁺ᵢ) < 1.
 package coloring
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -14,24 +15,12 @@ import (
 	"aggrate/internal/sinr"
 )
 
-// GreedyByLength colors the conflict graph by first-fit, processing links in
-// non-increasing order of length (App. A / Ye–Borodin elimination orders):
-// each link gets the smallest color not used by an already-colored neighbor.
-// It returns one color per vertex, colors numbered from 0, and the number of
-// colors used.
-func GreedyByLength(g *conflict.Graph) ([]int, int) {
+// FirstFit colors the conflict graph by first-fit along the given vertex
+// order: each vertex gets the smallest color not used by an already-colored
+// neighbor. order must be a permutation of [0, g.N()). It returns one color
+// per vertex, colors numbered from 0, and the number of colors used.
+func FirstFit(g *conflict.Graph, order []int) ([]int, int) {
 	n := g.N()
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		la, lb := g.Links[order[a]].Length(), g.Links[order[b]].Length()
-		if la != lb {
-			return la > lb // longest first
-		}
-		return order[a] < order[b]
-	})
 	colors := make([]int, n)
 	for i := range colors {
 		colors[i] = -1
@@ -54,6 +43,125 @@ func GreedyByLength(g *conflict.Graph) ([]int, int) {
 		colors[v] = c
 		if c+1 > numColors {
 			numColors = c + 1
+		}
+	}
+	return colors, numColors
+}
+
+// IndexOrder returns the identity order 0, 1, …, n-1: first-fit in input
+// order, the length-oblivious baseline.
+func IndexOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// ByLengthOrder returns the vertex order GreedyByLength processes: links in
+// non-increasing length, ties by index.
+func ByLengthOrder(g *conflict.Graph) []int {
+	order := IndexOrder(g.N())
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := g.Links[order[a]].Length(), g.Links[order[b]].Length()
+		if la != lb {
+			return la > lb // longest first
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// GreedyByLength colors the conflict graph by first-fit, processing links in
+// non-increasing order of length (App. A / Ye–Borodin elimination orders):
+// each link gets the smallest color not used by an already-colored neighbor.
+// It returns one color per vertex, colors numbered from 0, and the number of
+// colors used.
+func GreedyByLength(g *conflict.Graph) ([]int, int) {
+	return FirstFit(g, ByLengthOrder(g))
+}
+
+// satEntry is a (possibly stale) priority-queue entry of the DSATUR loop.
+type satEntry struct {
+	v        int32
+	sat, deg int32
+}
+
+type satHeap []satEntry
+
+func (h satHeap) Len() int { return len(h) }
+func (h satHeap) Less(a, b int) bool {
+	if h[a].sat != h[b].sat {
+		return h[a].sat > h[b].sat
+	}
+	if h[a].deg != h[b].deg {
+		return h[a].deg > h[b].deg
+	}
+	return h[a].v < h[b].v
+}
+func (h satHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *satHeap) Push(x any)   { *h = append(*h, x.(satEntry)) }
+func (h *satHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// DSatur colors the conflict graph with the DSATUR heuristic (Brélaz 1979):
+// repeatedly color the uncolored vertex with the highest saturation degree
+// (number of distinct neighbor colors), breaking ties by degree then index,
+// assigning the smallest color absent from its neighborhood. A stronger
+// graph-coloring baseline than the length-order greedy, at O((V+E) log V)
+// via a lazy priority queue. Returns colors (0-based, dense) and the count.
+func DSatur(g *conflict.Graph) ([]int, int) {
+	n := g.N()
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// neighborColors[v] tracks which colors appear in v's neighborhood;
+	// sat[v] is its cardinality — the saturation degree.
+	neighborColors := make([]map[int]struct{}, n)
+	sat := make([]int32, n)
+	h := make(satHeap, n)
+	for v := 0; v < n; v++ {
+		h[v] = satEntry{v: int32(v), sat: 0, deg: int32(len(g.Adj[v]))}
+	}
+	heap.Init(&h)
+	numColors := 0
+	used := make([]bool, n+1)
+	for colored := 0; colored < n; {
+		e := heap.Pop(&h).(satEntry)
+		v := int(e.v)
+		if colors[v] >= 0 || e.sat != sat[v] {
+			continue // stale entry: already colored or saturation moved on
+		}
+		for c := 0; c <= numColors; c++ {
+			used[c] = false
+		}
+		for _, w := range g.Adj[v] {
+			if c := colors[w]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		colored++
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+		for _, w := range g.Adj[v] {
+			wi := int(w)
+			if colors[wi] >= 0 {
+				continue
+			}
+			if neighborColors[wi] == nil {
+				neighborColors[wi] = make(map[int]struct{})
+			}
+			if _, ok := neighborColors[wi][c]; !ok {
+				neighborColors[wi][c] = struct{}{}
+				sat[wi]++
+				heap.Push(&h, satEntry{v: w, sat: sat[wi], deg: int32(len(g.Adj[wi]))})
+			}
 		}
 	}
 	return colors, numColors

@@ -35,9 +35,13 @@ import (
 )
 
 // Func is a conflict-threshold function f together with a display name.
-// Eval must be positive, non-decreasing, and sub-linear on [1, ∞). The
-// bucketed Build relies on monotonicity to bound candidate-search radii;
-// a decreasing Eval silently breaks its exactness guarantee.
+// Eval must be positive and non-decreasing on [1, ∞): the bucketed Build
+// relies on monotonicity to bound candidate-search radii, and a decreasing
+// Eval silently breaks its exactness guarantee. Sub-linearity is the
+// paper's additional requirement for constant inductive independence
+// (Appendix A) — it bounds coloring quality, not build correctness, so
+// super-linear thresholds (e.g. the protocol-model f(x) = k·x of the naive
+// scheduling strategy) still build exactly.
 type Func struct {
 	Name string
 	Eval func(x float64) float64

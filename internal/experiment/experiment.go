@@ -1,10 +1,10 @@
 // Package experiment wires the algorithmic layers into the paper's
-// experiment loop: scenario pointset → MST aggregation tree → conflict
-// graph → greedy length-class coloring (optionally Theorem-2 refinement) →
+// experiment loop: scenario pointset → MST aggregation tree → scheduling
+// strategy (conflict graph + coloring, pluggable via internal/scheduler) →
 // TDMA schedule → SINR verification. One Spec describes one instance; the
-// batch runner fans a (scenario × size × seed × power scheme) product out
-// over a worker pool and aggregates the per-instance metrics into
-// JSON-ready summaries.
+// batch runner fans a (scenario × size × seed × power scheme × algorithm)
+// product out over a worker pool and aggregates the per-instance metrics
+// into JSON-ready summaries.
 //
 // Feasibility handling: the paper's guarantees hold for a large-enough
 // conflict parameter γ, but the concrete constant is not pinned down. Run
@@ -28,6 +28,7 @@ import (
 	"aggrate/internal/mst"
 	"aggrate/internal/power"
 	"aggrate/internal/schedule"
+	"aggrate/internal/scheduler"
 	"aggrate/internal/sinr"
 	"aggrate/internal/stats"
 )
@@ -63,11 +64,14 @@ type Spec struct {
 	Sink     int
 	Power    string
 	Graph    string
-	Gamma    float64
-	Delta    float64
-	SINR     sinr.Params
-	Refine   bool
-	Verify   bool
+	// Algo selects the scheduling strategy (see internal/scheduler);
+	// empty means scheduler.Greedy.
+	Algo   string
+	Gamma  float64
+	Delta  float64
+	SINR   sinr.Params
+	Refine bool
+	Verify bool
 	// MaxGammaRetries bounds the escalation loop (default 8).
 	MaxGammaRetries int
 	// GammaStep is the escalation factor (default 1.5).
@@ -104,6 +108,7 @@ func NewSpec(sc Scenario, n int, seed uint64) Spec {
 		Seed:            seed,
 		Power:           PowerMean,
 		Graph:           GraphOblivious,
+		Algo:            scheduler.Greedy,
 		Gamma:           2,
 		Delta:           0.5,
 		SINR:            sinr.DefaultParams(),
@@ -119,6 +124,9 @@ func (s Spec) normalized() Spec {
 	}
 	if s.Graph == "" {
 		s.Graph = GraphOblivious
+	}
+	if s.Algo == "" {
+		s.Algo = scheduler.Greedy
 	}
 	if s.Gamma <= 0 {
 		s.Gamma = 2
@@ -138,19 +146,10 @@ func (s Spec) normalized() Spec {
 	return s
 }
 
-// graphFunc materializes the conflict-threshold function for the spec at a
+// config materializes the scheduler configuration for the spec at a
 // concrete γ.
-func (s Spec) graphFunc(gamma float64) (conflict.Func, error) {
-	switch s.Graph {
-	case GraphGamma:
-		return conflict.Gamma(gamma), nil
-	case GraphOblivious:
-		return conflict.PowerLaw(gamma, s.Delta), nil
-	case GraphArbitrary:
-		return conflict.LogThreshold(gamma, s.SINR.Alpha), nil
-	default:
-		return conflict.Func{}, fmt.Errorf("experiment: unknown graph kind %q", s.Graph)
-	}
+func (s Spec) config(gamma float64) scheduler.Config {
+	return scheduler.Config{Graph: s.Graph, Gamma: gamma, Delta: s.Delta, SINR: s.SINR}
 }
 
 // powerFunc returns the slot-power supplier for the spec's scheme over the
@@ -185,12 +184,18 @@ func (s Spec) powerFunc(links []geom.Link) (schedule.PowerFunc, error) {
 // Instance is one fully-materialized pipeline run: the artifacts of every
 // stage, kept for inspection, plotting, and tests.
 type Instance struct {
-	Spec     Spec
-	Points   []geom.Point
-	Tree     *mst.Tree
-	Graph    *conflict.Graph
+	Spec   Spec
+	Points []geom.Point
+	Tree   *mst.Tree
+	// Graph is the strategy's global conflict graph; nil for strategies
+	// that only build per-class graphs (lengthclass).
+	Graph *conflict.Graph
+	// Colors is the per-link coloring when the schedule is a proper
+	// coloring; nil for interleaved schedules (lengthclass).
 	Colors   []int
 	Schedule *schedule.Schedule
+	// Diag is the strategy's full diagnostic record.
+	Diag scheduler.Diag
 	// RefineSets is the Theorem-2 partition, nil unless Spec.Refine.
 	RefineSets [][]int
 	// GammaUsed is the γ the final (verified) build used.
@@ -220,6 +225,7 @@ type Result struct {
 	Seed     uint64 `json:"seed"`
 	Power    string `json:"power"`
 	Graph    string `json:"graph"`
+	Algo     string `json:"algo"`
 
 	Links         int     `json:"links"`
 	Diversity     float64 `json:"diversity"`
@@ -234,6 +240,9 @@ type Result struct {
 	Colors         int     `json:"colors"`
 	ScheduleLength int     `json:"schedule_length"`
 	Rate           float64 `json:"rate"`
+	// Classes counts the dyadic length classes the lengthclass strategy
+	// scheduled over (0 for single-graph strategies).
+	Classes int `json:"length_classes,omitempty"`
 	// ColorsPerLogStar normalizes the palette size by log*Δ, the paper's
 	// target growth rate for global power control (Theorem 3).
 	ColorsPerLogStar float64 `json:"colors_per_logstar"`
@@ -267,7 +276,7 @@ func Run(spec Spec) *Result {
 			res = &Result{
 				Scenario: name,
 				N:        spec.N, Seed: spec.Seed,
-				Power: spec.Power, Graph: spec.Graph,
+				Power: spec.Power, Graph: spec.Graph, Algo: spec.Algo,
 			}
 		}
 		res.Err = err.Error()
@@ -289,10 +298,18 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 	if err := spec.SINR.Validate(); err != nil {
 		return nil, nil, err
 	}
+	strat, err := scheduler.Lookup(spec.Algo)
+	if err != nil {
+		return nil, nil, err
+	}
 	res := &Result{
 		Scenario: spec.Scenario.PresetName(),
 		N:        spec.N, Seed: spec.Seed,
-		Power: spec.Power, Graph: spec.Graph,
+		Power: spec.Power, Graph: spec.Graph, Algo: spec.Algo,
+	}
+	// Reject unknown graph kinds before paying for generation.
+	if _, err := spec.config(spec.Gamma).ConflictFunc(); err != nil {
+		return nil, res, err
 	}
 	// TotalSec is stamped on every exit path, so stage timings of a run
 	// that failed mid-pipeline still come with their wall-clock total.
@@ -320,10 +337,18 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 	if err != nil {
 		return nil, res, err
 	}
-	res.Diversity = div
-	res.Log2Diversity = math.Log2(div)
-	res.LogStar = stats.LogStar(div)
-	res.LogLog = stats.LogLog(div)
+	// Diversity is clamped so the record stays JSON-encodable when the true
+	// ratio overflows float64 (subnormal shortest link vs huge longest);
+	// Log2Diversity carries the unclamped truth in log space
+	// (geom.LinkLog2Diversity), and log*/loglog are evaluated from the log2
+	// form so they report the finite answer in exactly that regime.
+	res.Diversity = math.Min(div, math.MaxFloat64)
+	res.Log2Diversity, err = geom.LinkLog2Diversity(links)
+	if err != nil {
+		return nil, res, err
+	}
+	res.LogStar = stats.LogStarFromLog2(res.Log2Diversity)
+	res.LogLog = stats.LogLogFromLog2(res.Log2Diversity)
 
 	pf, err := spec.powerFunc(links)
 	if err != nil {
@@ -333,36 +358,32 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 	inst := &Instance{Spec: spec, Points: pts, Tree: tree}
 	gamma := spec.Gamma
 	for attempt := 0; ; attempt++ {
-		f, err := spec.graphFunc(gamma)
-		if err != nil {
-			return nil, res, err
-		}
 		// Stage timings accumulate across escalation attempts so that they
 		// still sum to TotalSec when verification forces a rebuild.
-		t0 = time.Now()
-		g := conflict.Build(links, f)
-		res.Timings.BuildSec += time.Since(t0).Seconds()
-
-		t0 = time.Now()
-		colors, numColors := coloring.GreedyByLength(g)
-		res.Timings.ColorSec += time.Since(t0).Seconds()
-		sched, err := schedule.FromColoring(links, colors)
+		sched, diag, err := strat.Schedule(links, spec.config(gamma))
 		if err != nil {
 			return nil, res, err
 		}
+		res.Timings.BuildSec += diag.BuildSec
+		res.Timings.ColorSec += diag.ColorSec
 
-		inst.Graph, inst.Colors, inst.Schedule = g, colors, sched
+		inst.Graph, inst.Colors, inst.Schedule, inst.Diag = diag.Graph, diag.Colors, sched, diag
 		inst.GammaUsed, inst.GammaRetries = gamma, attempt
-		res.Edges = g.Edges()
-		res.MaxDegree = g.MaxDegree()
-		res.AvgDegree = g.AverageDegree()
-		res.Colors = numColors
+		res.Edges = diag.Edges
+		res.MaxDegree = diag.MaxDegree
+		res.AvgDegree = diag.AvgDegree
+		res.Colors = diag.NumColors
+		res.Classes = diag.Classes
+		// The lengthclass strategy's per-class Theorem-2 split; the explicit
+		// Spec.Refine diagnostic below overwrites this with the global
+		// refinement when requested.
+		res.RefineSets = diag.RefineSets
 		res.ScheduleLength = sched.Period()
 		res.Rate = sched.Rate()
 		res.GammaUsed = gamma
 		res.GammaRetries = attempt
-		res.ColorsPerLogStar = float64(numColors) / math.Max(1, float64(res.LogStar))
-		res.ColorsPerLogLog = float64(numColors) / math.Max(1, res.LogLog)
+		res.ColorsPerLogStar = float64(diag.NumColors) / math.Max(1, float64(res.LogStar))
+		res.ColorsPerLogLog = float64(diag.NumColors) / math.Max(1, res.LogLog)
 
 		if !spec.Verify {
 			break
@@ -434,27 +455,34 @@ func Workers(workers, jobs int) int {
 	return workers
 }
 
-// Expand builds the (scenario × n × seed × power) cross product of specs,
-// using base for every non-product field. Seeds are base.Seed, base.Seed+1,
-// …, base.Seed+seeds-1.
-func Expand(scenarios []Scenario, ns []int, seeds int, powers []string, base Spec) []Spec {
+// Expand builds the (scenario × n × seed × power × algo) cross product of
+// specs, using base for every non-product field. Seeds are base.Seed,
+// base.Seed+1, …, base.Seed+seeds-1, so the algorithms of one cell run on
+// identical instances.
+func Expand(scenarios []Scenario, ns []int, seeds int, powers, algos []string, base Spec) []Spec {
 	if seeds < 1 {
 		seeds = 1
 	}
 	if len(powers) == 0 {
 		powers = []string{base.normalized().Power}
 	}
-	specs := make([]Spec, 0, len(scenarios)*len(ns)*seeds*len(powers))
+	if len(algos) == 0 {
+		algos = []string{base.normalized().Algo}
+	}
+	specs := make([]Spec, 0, len(scenarios)*len(ns)*seeds*len(powers)*len(algos))
 	for _, sc := range scenarios {
 		for _, n := range ns {
 			for _, pw := range powers {
-				for s := 0; s < seeds; s++ {
-					sp := base
-					sp.Scenario = sc
-					sp.N = n
-					sp.Power = pw
-					sp.Seed = base.Seed + uint64(s)
-					specs = append(specs, sp)
+				for _, al := range algos {
+					for s := 0; s < seeds; s++ {
+						sp := base
+						sp.Scenario = sc
+						sp.N = n
+						sp.Power = pw
+						sp.Algo = al
+						sp.Seed = base.Seed + uint64(s)
+						specs = append(specs, sp)
+					}
 				}
 			}
 		}
@@ -462,13 +490,14 @@ func Expand(scenarios []Scenario, ns []int, seeds int, powers []string, base Spe
 	return specs
 }
 
-// Summary aggregates the results of one (scenario, n, power, graph) cell
-// across seeds.
+// Summary aggregates the results of one (scenario, n, power, graph, algo)
+// cell across seeds.
 type Summary struct {
 	Scenario string `json:"scenario"`
 	N        int    `json:"n"`
 	Power    string `json:"power"`
 	Graph    string `json:"graph"`
+	Algo     string `json:"algo"`
 	Seeds    int    `json:"seeds"`
 	Errors   int    `json:"errors"`
 
@@ -488,8 +517,8 @@ type Summary struct {
 	MeanTotalSec         float64 `json:"mean_total_sec"`
 }
 
-// Aggregate groups results by (scenario, n, power, graph) and reduces each
-// group with internal/stats. Failed results count toward Errors and are
+// Aggregate groups results by (scenario, n, power, graph, algo) and reduces
+// each group with internal/stats. Failed results count toward Errors and are
 // excluded from the numeric reductions. Groups come back in deterministic
 // sorted order.
 func Aggregate(results []*Result) []Summary {
@@ -498,13 +527,14 @@ func Aggregate(results []*Result) []Summary {
 		N        int
 		Power    string
 		Graph    string
+		Algo     string
 	}
 	groups := make(map[key][]*Result)
 	for _, r := range results {
 		if r == nil {
 			continue
 		}
-		k := key{r.Scenario, r.N, r.Power, r.Graph}
+		k := key{r.Scenario, r.N, r.Power, r.Graph, r.Algo}
 		groups[k] = append(groups[k], r)
 	}
 	keys := make([]key, 0, len(groups))
@@ -522,12 +552,15 @@ func Aggregate(results []*Result) []Summary {
 		if ka.Power != kb.Power {
 			return ka.Power < kb.Power
 		}
-		return ka.Graph < kb.Graph
+		if ka.Graph != kb.Graph {
+			return ka.Graph < kb.Graph
+		}
+		return ka.Algo < kb.Algo
 	})
 	out := make([]Summary, 0, len(keys))
 	for _, k := range keys {
 		rs := groups[k]
-		s := Summary{Scenario: k.Scenario, N: k.N, Power: k.Power, Graph: k.Graph, Seeds: len(rs)}
+		s := Summary{Scenario: k.Scenario, N: k.N, Power: k.Power, Graph: k.Graph, Algo: k.Algo, Seeds: len(rs)}
 		var colors, lengths, rates, edges, margins, gammas, divs, logstars, cpls, totals []float64
 		for _, r := range rs {
 			if r.Err != "" {
@@ -546,8 +579,14 @@ func Aggregate(results []*Result) []Summary {
 			}
 			gammas = append(gammas, r.GammaUsed)
 			divs = append(divs, r.Diversity)
-			logstars = append(logstars, float64(r.LogStar))
-			cpls = append(cpls, r.ColorsPerLogStar)
+			// LogStarUndefined (-1) marks a non-finite diversity; averaging
+			// the sentinel (or a normalization clamped against it) into the
+			// summary would corrupt it, so such rows are left out of both
+			// log*-derived reductions.
+			if r.LogStar != stats.LogStarUndefined {
+				logstars = append(logstars, float64(r.LogStar))
+				cpls = append(cpls, r.ColorsPerLogStar)
+			}
 			totals = append(totals, r.Timings.TotalSec)
 		}
 		if len(colors) > 0 {

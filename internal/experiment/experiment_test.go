@@ -2,12 +2,15 @@ package experiment
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 
 	"aggrate/internal/coloring"
 	"aggrate/internal/geom"
 	"aggrate/internal/scenario"
 	"aggrate/internal/schedule"
+	"aggrate/internal/scheduler"
+	"aggrate/internal/stats"
 )
 
 func uniformScenario(t *testing.T) Scenario {
@@ -90,9 +93,10 @@ func TestRefinePath(t *testing.T) {
 func TestBatchDeterministicAcrossWorkers(t *testing.T) {
 	sc := uniformScenario(t)
 	base := NewSpec(sc, 0, 0)
-	specs := Expand([]Scenario{sc}, []int{100, 200}, 3, []string{PowerMean, PowerUniform}, base)
-	if len(specs) != 12 {
-		t.Fatalf("Expand produced %d specs, want 12", len(specs))
+	specs := Expand([]Scenario{sc}, []int{100, 200}, 3, []string{PowerMean, PowerUniform},
+		[]string{scheduler.Greedy, scheduler.LengthClass}, base)
+	if len(specs) != 24 {
+		t.Fatalf("Expand produced %d specs, want 24", len(specs))
 	}
 	r1 := RunBatch(specs, 1)
 	r4 := RunBatch(specs, 4)
@@ -114,9 +118,10 @@ func TestBatchDeterministicAcrossWorkers(t *testing.T) {
 func TestAggregate(t *testing.T) {
 	sc := uniformScenario(t)
 	base := NewSpec(sc, 0, 0)
-	specs := Expand([]Scenario{sc}, []int{100}, 3, []string{PowerMean}, base)
+	specs := Expand([]Scenario{sc}, []int{100}, 3, []string{PowerMean}, nil, base)
 	results := RunBatch(specs, 0)
-	results = append(results, &Result{Scenario: "uniform", N: 100, Power: PowerMean, Graph: GraphOblivious, Err: "boom"})
+	results = append(results, &Result{Scenario: "uniform", N: 100, Power: PowerMean,
+		Graph: GraphOblivious, Algo: scheduler.Greedy, Err: "boom"})
 	sums := Aggregate(results)
 	if len(sums) != 1 {
 		t.Fatalf("Aggregate produced %d groups, want 1", len(sums))
@@ -182,4 +187,122 @@ func TestValidateSchedule(t *testing.T) {
 		}
 	}
 	var _ *schedule.Schedule = inst.Schedule
+}
+
+// TestAllAlgosVerify: every registered strategy must reach a SINR-verified
+// schedule on the same instance, across the three conflict graphs.
+func TestAllAlgosVerify(t *testing.T) {
+	sc := uniformScenario(t)
+	for _, gk := range []string{GraphGamma, GraphOblivious, GraphArbitrary} {
+		for _, algo := range scheduler.Names() {
+			spec := NewSpec(sc, 250, 11)
+			spec.Graph = gk
+			spec.Algo = algo
+			res := Run(spec)
+			if res.Err != "" {
+				t.Fatalf("graph=%s algo=%s: %s", gk, algo, res.Err)
+			}
+			if !res.Verified {
+				t.Fatalf("graph=%s algo=%s: schedule not verified", gk, algo)
+			}
+			if res.Algo != algo {
+				t.Fatalf("result algo %q, want %q", res.Algo, algo)
+			}
+			if algo == scheduler.LengthClass && res.Classes < 1 {
+				t.Fatalf("lengthclass reported %d length classes", res.Classes)
+			}
+			if algo == scheduler.LengthClass && gk == GraphArbitrary && res.RefineSets < 1 {
+				t.Fatalf("lengthclass on arb reported %d refine sets", res.RefineSets)
+			}
+		}
+	}
+}
+
+// TestUnknownAlgoErrors: a bogus algorithm name must fail the instance, not
+// panic the batch.
+func TestUnknownAlgoErrors(t *testing.T) {
+	spec := NewSpec(uniformScenario(t), 100, 1)
+	spec.Algo = "bogus"
+	if res := Run(spec); res.Err == "" {
+		t.Fatal("bogus algo did not error")
+	}
+}
+
+// TestAggregateSplitsByAlgo: two algorithms over the same cell must land in
+// separate summary groups.
+func TestAggregateSplitsByAlgo(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	specs := Expand([]Scenario{sc}, []int{120}, 2, []string{PowerMean},
+		[]string{scheduler.Greedy, scheduler.Naive}, base)
+	sums := Aggregate(RunBatch(specs, 0))
+	if len(sums) != 2 {
+		t.Fatalf("Aggregate produced %d groups, want 2 (one per algo)", len(sums))
+	}
+	if sums[0].Algo == sums[1].Algo {
+		t.Fatalf("summary groups share algo %q", sums[0].Algo)
+	}
+	for _, s := range sums {
+		if s.Seeds != 2 || s.Errors != 0 {
+			t.Fatalf("summary %+v inconsistent", s)
+		}
+	}
+}
+
+// TestOverflowDiversityStaysFinite: when the length ratio overflows float64,
+// the log-space diversity pipeline must still deliver a finite log* instead
+// of the LogStarUndefined sentinel, and Aggregate must not let any sentinel
+// corrupt MeanLogStar.
+func TestOverflowDiversityStaysFinite(t *testing.T) {
+	sc := NamedScenario{Name: "overflow", Gen: func(n int, seed uint64) []geom.Point {
+		return []geom.Point{{X: 0, Y: 0}, {X: 1e-308, Y: 0}, {X: 1e30, Y: 0}}
+	}}
+	spec := NewSpec(sc, 3, 1)
+	spec.Verify = false // powers under/overflow at these scales; metrics are the point
+	_, res, err := NewInstance(spec)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	if math.IsInf(res.Log2Diversity, 0) || res.Log2Diversity < 1000 {
+		t.Fatalf("Log2Diversity = %g, want finite and > 1000", res.Log2Diversity)
+	}
+	if res.LogStar != 5 {
+		t.Fatalf("LogStar = %d, want 5 (log* of 2^~1123)", res.LogStar)
+	}
+	// Diversity and LogLog must be clamped/log-space finite so the record —
+	// and hence the whole batch output — stays JSON-encodable.
+	if math.IsInf(res.Diversity, 0) || math.IsInf(res.LogLog, 0) {
+		t.Fatalf("Diversity=%g LogLog=%g must be finite", res.Diversity, res.LogLog)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("overflow-diversity Result not JSON-encodable: %v", err)
+	}
+	// A sentinel row must be excluded from both log*-derived reductions.
+	rows := []*Result{
+		res,
+		{Scenario: "overflow", N: 3, Seed: 2, Power: res.Power, Graph: res.Graph,
+			Algo: res.Algo, Colors: 1, LogStar: stats.LogStarUndefined,
+			ColorsPerLogStar: 15},
+	}
+	sums := Aggregate(rows)
+	if len(sums) != 1 {
+		t.Fatalf("Aggregate produced %d groups, want 1", len(sums))
+	}
+	if sums[0].MeanLogStar != 5 {
+		t.Fatalf("MeanLogStar = %g, want 5 (sentinel row excluded)", sums[0].MeanLogStar)
+	}
+	if sums[0].MeanColorsPerLogStar != res.ColorsPerLogStar {
+		t.Fatalf("MeanColorsPerLogStar = %g, want %g (sentinel row excluded)",
+			sums[0].MeanColorsPerLogStar, res.ColorsPerLogStar)
+	}
+	// Multiple clamped-diversity seeds in one cell: the summary reduces
+	// diversity by median (no summation), so it must stay JSON-encodable.
+	res2 := *res
+	res2.Seed = 2
+	if sums = Aggregate([]*Result{res, &res2}); len(sums) != 1 {
+		t.Fatalf("Aggregate produced %d groups, want 1", len(sums))
+	}
+	if _, err := json.Marshal(sums); err != nil {
+		t.Fatalf("two-seed overflow summary not JSON-encodable: %v", err)
+	}
 }

@@ -119,20 +119,15 @@ func Lengths(links []Link) []float64 {
 	return out
 }
 
-// LinkDiversity returns Δ(L), the ratio between the longest and the
-// shortest link length in L. It returns 1 for empty or single-link sets and
-// an error if any link has non-positive length (a zero-length link has no
-// meaningful SINR semantics).
-func LinkDiversity(links []Link) (float64, error) {
-	if len(links) == 0 {
-		return 1, nil
-	}
-	lo := math.Inf(1)
-	hi := math.Inf(-1)
+// minMaxLinkLength scans the link lengths once, rejecting non-positive
+// values (a zero-length link has no meaningful SINR semantics). It is the
+// shared kernel of the diversity functions; callers handle the empty set.
+func minMaxLinkLength(links []Link) (lo, hi float64, err error) {
+	lo, hi = math.Inf(1), math.Inf(-1)
 	for _, l := range links {
 		le := l.Length()
 		if le <= 0 {
-			return 0, fmt.Errorf("geom: link %d->%d has non-positive length %g", l.Sender, l.Receiver, le)
+			return 0, 0, fmt.Errorf("geom: link %d->%d has non-positive length %g", l.Sender, l.Receiver, le)
 		}
 		if le < lo {
 			lo = le
@@ -141,7 +136,38 @@ func LinkDiversity(links []Link) (float64, error) {
 			hi = le
 		}
 	}
+	return lo, hi, nil
+}
+
+// LinkDiversity returns Δ(L), the ratio between the longest and the
+// shortest link length in L. It returns 1 for empty or single-link sets and
+// an error if any link has non-positive length. Note the ratio can overflow
+// to +Inf for extreme length ranges; LinkLog2Diversity stays finite there.
+func LinkDiversity(links []Link) (float64, error) {
+	if len(links) == 0 {
+		return 1, nil
+	}
+	lo, hi, err := minMaxLinkLength(links)
+	if err != nil {
+		return 0, err
+	}
 	return hi / lo, nil
+}
+
+// LinkLog2Diversity returns log₂ Δ(L) computed in log space
+// (log₂ l_max − log₂ l_min), so it stays finite even when the ratio Δ(L)
+// itself overflows float64 (e.g. subnormal shortest link, huge longest).
+// Like LinkDiversity it returns 0 (= log₂ 1) for empty or single-link sets
+// and an error on non-positive lengths.
+func LinkLog2Diversity(links []Link) (float64, error) {
+	if len(links) == 0 {
+		return 0, nil
+	}
+	lo, hi, err := minMaxLinkLength(links)
+	if err != nil {
+		return 0, err
+	}
+	return math.Log2(hi) - math.Log2(lo), nil
 }
 
 // PointDiversity returns Δ(R) for the pointset: the ratio between the

@@ -83,3 +83,41 @@ func TestBoundingBoxTransforms(t *testing.T) {
 		t.Fatal("OnLine misclassifies")
 	}
 }
+
+// TestLinkLog2DiversityOverflow: the log-space form must stay finite when
+// the ratio Δ(L) itself overflows float64.
+func TestLinkLog2DiversityOverflow(t *testing.T) {
+	links := []Link{
+		NewLink(0, 1, Point{0, 0}, Point{1e-308, 0}),
+		NewLink(2, 3, Point{0, 0}, Point{1e30, 0}),
+	}
+	got, err := LinkLog2Diversity(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log2(1e30) - math.Log2(1e-308)
+	if math.IsInf(got, 0) || math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LinkLog2Diversity = %g, want %g (finite)", got, want)
+	}
+	if div, _ := LinkDiversity(links); !math.IsInf(div, 1) {
+		t.Fatalf("test premise broken: ratio %g should overflow to +Inf", div)
+	}
+	// Consistency with the direct form in the normal range.
+	norm := []Link{
+		NewLink(0, 1, Point{0, 0}, Point{2, 0}),
+		NewLink(2, 3, Point{0, 0}, Point{64, 0}),
+	}
+	got, err = LinkLog2Diversity(norm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("LinkLog2Diversity(2,64) = %g, want 5", got)
+	}
+	if v, err := LinkLog2Diversity(nil); err != nil || v != 0 {
+		t.Fatalf("LinkLog2Diversity(nil) = %g, %v; want 0, nil", v, err)
+	}
+	if _, err := LinkLog2Diversity([]Link{NewLink(0, 1, Point{}, Point{})}); err == nil {
+		t.Fatal("zero-length link did not error")
+	}
+}

@@ -1,0 +1,412 @@
+// Package scheduler defines the pluggable strategy layer between the
+// conflict-graph machinery and the experiment harness: a Strategy turns a
+// link set into a TDMA schedule, and the registry lets the CLI and the batch
+// runner fan out over algorithms the same way they fan out over scenarios,
+// sizes, seeds and power schemes.
+//
+// Four strategies implement the interface:
+//
+//   - greedy      — one conflict graph over all links, first-fit colored in
+//     non-increasing length order (Sec. 3 / Theorem 2's coloring half);
+//   - lengthclass — the paper's constructive algorithm: partition the links
+//     into dyadic length classes, color each class's conflict graph
+//     separately (splitting slots by the Theorem-2 refinement on the G_arb
+//     graph), and round-robin interleave the per-class schedules
+//     (Theorems 1 and 3);
+//   - dsatur      — DSATUR over the same global conflict graph, a stronger
+//     pure graph-coloring baseline;
+//   - naive       — protocol-model distance TDMA: links conflict whenever
+//     they are within γ times the longer length of each other, colored
+//     first-fit in input order with no SINR or length awareness — the
+//     Sec. 6 strawman.
+//
+// Strategies are deterministic in (links, Config), so batch results stay
+// reproducible regardless of worker scheduling.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"aggrate/internal/coloring"
+	"aggrate/internal/conflict"
+	"aggrate/internal/geom"
+	"aggrate/internal/schedule"
+	"aggrate/internal/sinr"
+)
+
+// Graph kinds selectable in a Config, matching the paper's three conflict
+// graphs (see internal/conflict for the threshold functions).
+const (
+	GraphGamma     = "gamma"
+	GraphOblivious = "obl"
+	GraphArbitrary = "arb"
+)
+
+// Config carries the per-run parameters a strategy needs: which conflict
+// graph to schedule against and at what conflict parameter. The experiment
+// layer escalates Gamma and re-invokes the strategy until the schedule
+// SINR-verifies, so Schedule must be monotone-friendly: larger Gamma may
+// only make slots sparser.
+type Config struct {
+	// Graph selects the conflict-threshold family (gamma, obl, arb).
+	Graph string
+	// Gamma is the conflict parameter γ. For the naive strategy it doubles
+	// as the protocol-model guard-zone multiple.
+	Gamma float64
+	// Delta is the exponent of G^δ_γ (Graph == "obl").
+	Delta float64
+	// SINR supplies α for G_arb and the additive operator of the
+	// Theorem-2 refinement.
+	SINR sinr.Params
+}
+
+// ConflictFunc materializes the conflict-threshold function the Config
+// selects, at its concrete γ.
+func (c Config) ConflictFunc() (conflict.Func, error) {
+	switch c.Graph {
+	case GraphGamma:
+		return conflict.Gamma(c.Gamma), nil
+	case GraphOblivious:
+		return conflict.PowerLaw(c.Gamma, c.Delta), nil
+	case GraphArbitrary:
+		return conflict.LogThreshold(c.Gamma, c.SINR.Alpha), nil
+	default:
+		return conflict.Func{}, fmt.Errorf("scheduler: unknown graph kind %q", c.Graph)
+	}
+}
+
+// Diag reports what a strategy did, for metrics and invariant checks.
+type Diag struct {
+	// Func is the conflict-threshold function whose graph every slot of the
+	// returned schedule is an independent set of. For graph-coloring
+	// strategies it is the Config's function; for naive it is the
+	// protocol-model threshold.
+	Func conflict.Func
+	// Graph is the global conflict graph, when the strategy built one
+	// (nil for lengthclass, which only builds per-class graphs).
+	Graph *conflict.Graph
+	// Colors is the per-link coloring when the schedule is a proper
+	// coloring (slot k = color k); nil for interleaved schedules.
+	Colors []int
+	// NumColors is the schedule period (total distinct slots).
+	NumColors int
+	// Classes is the number of non-empty dyadic length classes
+	// (lengthclass only).
+	Classes int
+	// RefineSets is the largest Theorem-2 refinement partition applied
+	// within a class (lengthclass on G_arb only).
+	RefineSets int
+	// Edges, MaxDegree, AvgDegree describe the conflict graph(s) the
+	// strategy colored; for lengthclass they aggregate over the per-class
+	// graphs (cross-class edges are never materialized).
+	Edges     int
+	MaxDegree int
+	AvgDegree float64
+	// BuildSec and ColorSec split the strategy's wall-clock between graph
+	// construction and coloring/interleaving.
+	BuildSec float64
+	ColorSec float64
+}
+
+// Strategy is one scheduling algorithm. Schedule must return a schedule over
+// exactly the given links (same indices) in which every link transmits at
+// least once per period.
+type Strategy interface {
+	Name() string
+	Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error)
+}
+
+// Strategy names, as accepted by Lookup and the CLI --algo flag.
+const (
+	Greedy      = "greedy"
+	LengthClass = "lengthclass"
+	DSatur      = "dsatur"
+	Naive       = "naive"
+)
+
+// Names lists the registered strategies in canonical order.
+func Names() []string { return []string{Greedy, LengthClass, DSatur, Naive} }
+
+// Lookup resolves a strategy by name.
+func Lookup(name string) (Strategy, error) {
+	switch name {
+	case Greedy:
+		return greedyStrategy{}, nil
+	case LengthClass:
+		return lengthClassStrategy{}, nil
+	case DSatur:
+		return dsaturStrategy{}, nil
+	case Naive:
+		return naiveStrategy{}, nil
+	default:
+		return nil, fmt.Errorf("scheduler: unknown algorithm %q (have %v)", name, Names())
+	}
+}
+
+// All returns every registered strategy in canonical order.
+func All() []Strategy {
+	out := make([]Strategy, 0, len(Names()))
+	for _, n := range Names() {
+		s, _ := Lookup(n)
+		out = append(out, s)
+	}
+	return out
+}
+
+// colorWith is the shared body of the single-graph strategies: build the
+// conflict graph for cfg, color it with the supplied coloring, and emit the
+// coloring schedule.
+func colorWith(links []geom.Link, f conflict.Func,
+	color func(*conflict.Graph) ([]int, int)) (*schedule.Schedule, Diag, error) {
+	t0 := time.Now()
+	g := conflict.Build(links, f)
+	d := Diag{Func: f, Graph: g, BuildSec: time.Since(t0).Seconds()}
+
+	t0 = time.Now()
+	colors, numColors := color(g)
+	d.ColorSec = time.Since(t0).Seconds()
+	sched, err := schedule.FromColoring(links, colors)
+	if err != nil {
+		return nil, d, err
+	}
+	d.Colors, d.NumColors = colors, numColors
+	d.Edges, d.MaxDegree, d.AvgDegree = g.Edges(), g.MaxDegree(), g.AverageDegree()
+	return sched, d, nil
+}
+
+// greedyStrategy is the existing pipeline: global conflict graph, first-fit
+// in non-increasing length order.
+type greedyStrategy struct{}
+
+func (greedyStrategy) Name() string { return Greedy }
+
+func (greedyStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+	f, err := cfg.ConflictFunc()
+	if err != nil {
+		return nil, Diag{}, err
+	}
+	return colorWith(links, f, coloring.GreedyByLength)
+}
+
+// dsaturStrategy colors the same conflict graph with DSATUR.
+type dsaturStrategy struct{}
+
+func (dsaturStrategy) Name() string { return DSatur }
+
+func (dsaturStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+	f, err := cfg.ConflictFunc()
+	if err != nil {
+		return nil, Diag{}, err
+	}
+	return colorWith(links, f, coloring.DSatur)
+}
+
+// naiveStrategy is the Sec. 6 strawman: a protocol-model TDMA that silences
+// everything within γ·l_max of a transmitting pair and colors links first-fit
+// in input order, blind to both SINR and the length structure. The threshold
+// f(x) = γ·x gives d(i,j) ≤ γ·max(l_i, l_j) as the conflict condition; it is
+// monotone (so the bucketed build stays exact) but deliberately not
+// sub-linear — this strategy is outside the paper's framework on purpose.
+type naiveStrategy struct{}
+
+func (naiveStrategy) Name() string { return Naive }
+
+// NaiveFunc returns the protocol-model threshold f(x) = k·x used by the
+// naive strategy with guard-zone multiple k.
+func NaiveFunc(k float64) conflict.Func {
+	return conflict.Func{
+		Name: fmt.Sprintf("protocol(%g)", k),
+		Eval: func(x float64) float64 { return k * x },
+	}
+}
+
+func (naiveStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+	if _, err := cfg.ConflictFunc(); err != nil {
+		return nil, Diag{}, err // reject bogus graph kinds uniformly
+	}
+	f := NaiveFunc(cfg.Gamma)
+	return colorWith(links, f, func(g *conflict.Graph) ([]int, int) {
+		return coloring.FirstFit(g, coloring.IndexOrder(g.N()))
+	})
+}
+
+// lengthClassStrategy is the paper's constructive algorithm (Theorems 1
+// and 3): partition the links into dyadic length classes — within a class
+// lengths differ by less than a factor 2, so the class's conflict graph is
+// near-uniform — color each class separately, and round-robin interleave the
+// per-class schedules. On G_arb the Theorem-2 refinement additionally splits
+// each color class into sets with I(i, S⁺ᵢ) < 1, the feasibility device of
+// Theorem 3's global-power schedule.
+//
+// Cost note: on G_arb the per-class coloring.Refine is quadratic in the
+// class size and re-runs on every γ escalation, so low-diversity instances
+// (most links in one class, e.g. the grid scenario) pay the same O(m²) the
+// --refine flag documents as "slow above ~20k links".
+type lengthClassStrategy struct{}
+
+func (lengthClassStrategy) Name() string { return LengthClass }
+
+func (lengthClassStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+	f, err := cfg.ConflictFunc()
+	if err != nil {
+		return nil, Diag{}, err
+	}
+	d := Diag{Func: f}
+	if len(links) == 0 {
+		return schedule.New(links, nil), d, nil
+	}
+	classes, err := LengthClasses(links)
+	if err != nil {
+		return nil, d, err
+	}
+	d.Classes = len(classes)
+
+	// Per-class schedules, classes in increasing length order. classSlots[c]
+	// lists the slots of class c in global link indices.
+	classSlots := make([][][]int, len(classes))
+	for c, idx := range classes {
+		classLinks := make([]geom.Link, len(idx))
+		for k, i := range idx {
+			classLinks[k] = links[i]
+		}
+		t0 := time.Now()
+		g := conflict.Build(classLinks, f)
+		d.BuildSec += time.Since(t0).Seconds()
+		d.Edges += g.Edges()
+		if md := g.MaxDegree(); md > d.MaxDegree {
+			d.MaxDegree = md
+		}
+
+		t0 = time.Now()
+		colors, numColors := coloring.GreedyByLength(g)
+		// Slot key of class link k: its color, optionally subdivided by the
+		// Theorem-2 refinement set on the arbitrary-power graph.
+		slotOf := colors
+		numSlots := numColors
+		if cfg.Graph == GraphArbitrary {
+			sets := coloring.Refine(classLinks, cfg.SINR)
+			if len(sets) > d.RefineSets {
+				d.RefineSets = len(sets)
+			}
+			setOf := make([]int, len(classLinks))
+			for s, set := range sets {
+				for _, k := range set {
+					setOf[k] = s
+				}
+			}
+			// Dense renumbering of the non-empty (color, set) pairs, ordered
+			// by color then set.
+			pair := make([]int, len(classLinks))
+			for k := range classLinks {
+				pair[k] = colors[k]*len(sets) + setOf[k]
+			}
+			slotOf, numSlots = densify(pair)
+		}
+		slots := make([][]int, numSlots)
+		for k, s := range slotOf {
+			slots[s] = append(slots[s], idx[k])
+		}
+		classSlots[c] = slots
+		d.ColorSec += time.Since(t0).Seconds()
+	}
+
+	// Round-robin interleave: round r takes slot r of every class that still
+	// has one, shortest class first — the paper's interleaving of per-class
+	// schedules into one period of length Σ_c χ_c.
+	var interleaved [][]int
+	for r := 0; ; r++ {
+		any := false
+		for _, slots := range classSlots {
+			if r < len(slots) {
+				interleaved = append(interleaved, slots[r])
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	sched := schedule.New(links, interleaved)
+	d.NumColors = sched.Period()
+	if n := len(links); n > 0 {
+		d.AvgDegree = 2 * float64(d.Edges) / float64(n)
+	}
+	return sched, d, nil
+}
+
+// LengthClasses partitions link indices into dyadic length classes
+// [l_min·2^c, l_min·2^(c+1)), dropping empty classes. The returned groups
+// are ordered by increasing length and preserve input order within a group.
+// Links with non-positive or non-finite lengths are rejected, as is a
+// diversity too large for float64.
+func LengthClasses(links []geom.Link) ([][]int, error) {
+	lmin, lmax := 0.0, 0.0
+	for i, l := range links {
+		le := l.Length()
+		if !(le > 0) || math.IsInf(le, 1) {
+			return nil, fmt.Errorf("scheduler: link %d has unusable length %g", i, le)
+		}
+		if i == 0 || le < lmin {
+			lmin = le
+		}
+		if le > lmax {
+			lmax = le
+		}
+	}
+	if len(links) == 0 {
+		return nil, nil
+	}
+	ratio := lmax / lmin
+	if !(ratio >= 1) || math.IsInf(ratio, 1) {
+		return nil, fmt.Errorf("scheduler: length diversity %g not representable", ratio)
+	}
+	// Boundaries b_c = lmin·2^c, assigned by comparison (not floating log2)
+	// so classification is exactly monotone in length — the same device as
+	// the bucketed conflict build.
+	bounds := []float64{lmin}
+	for b := lmin * 2; b <= lmax; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	groups := make([][]int, len(bounds))
+	for i, l := range links {
+		le := l.Length()
+		c := sort.SearchFloat64s(bounds, le)
+		if c == len(bounds) || bounds[c] > le {
+			c--
+		}
+		groups[c] = append(groups[c], i)
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out, nil
+}
+
+// densify renumbers arbitrary non-negative slot keys into the dense range
+// [0, count) preserving key order, returning the renumbered slice and count.
+func densify(keys []int) ([]int, int) {
+	distinct := make([]int, 0, len(keys))
+	seen := make(map[int]bool, len(keys))
+	for _, k := range keys {
+		if !seen[k] {
+			seen[k] = true
+			distinct = append(distinct, k)
+		}
+	}
+	sort.Ints(distinct)
+	rank := make(map[int]int, len(distinct))
+	for r, k := range distinct {
+		rank[k] = r
+	}
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = rank[k]
+	}
+	return out, len(distinct)
+}

@@ -8,13 +8,24 @@ import (
 	"sort"
 )
 
+// LogStarUndefined is the sentinel LogStar and LogStarFromLog2 return for
+// non-finite input (+Inf or NaN), where the iterated logarithm has no
+// meaningful value: math.Log2(+Inf) == +Inf, so iterating would never
+// terminate. Callers normalizing by log* should clamp the sentinel away
+// (e.g. with max(1, ·)).
+const LogStarUndefined = -1
+
 // LogStar returns log₂* x: the number of times log₂ must be iterated,
 // starting from x, before the result is at most 1. By convention
-// LogStar(x) = 0 for x <= 1.
+// LogStar(x) = 0 for x <= 1; LogStar(+Inf) and LogStar(NaN) return
+// LogStarUndefined.
 //
 // Reference values: LogStar(2)=1, LogStar(4)=2, LogStar(16)=3,
 // LogStar(65536)=4, LogStar(2^65536)=5.
 func LogStar(x float64) int {
+	if math.IsInf(x, 1) || math.IsNaN(x) {
+		return LogStarUndefined
+	}
 	n := 0
 	for x > 1 {
 		x = math.Log2(x)
@@ -26,8 +37,12 @@ func LogStar(x float64) int {
 // LogStarFromLog2 returns log₂* of a value given as its base-2 logarithm.
 // This lets callers evaluate log* of quantities too large for float64
 // (e.g. Δ = 2^65536 is passed as log2Δ = 65536).
-// LogStarFromLog2(y) == LogStar(2^y) for y > 0.
+// LogStarFromLog2(y) == LogStar(2^y) for finite y > 0; non-finite input
+// (+Inf or NaN) returns LogStarUndefined.
 func LogStarFromLog2(log2x float64) int {
+	if math.IsInf(log2x, 1) || math.IsNaN(log2x) {
+		return LogStarUndefined
+	}
 	if log2x <= 0 {
 		return 0 // x = 2^log2x <= 1
 	}
@@ -40,6 +55,17 @@ func LogLog(x float64) float64 {
 		return 0
 	}
 	return math.Log2(math.Log2(x))
+}
+
+// LogLogFromLog2 returns log₂ log₂ of a value given as its base-2
+// logarithm: LogLogFromLog2(y) == LogLog(2^y). Like LogLog it clamps to 0
+// for x <= 2 (y <= 1), and it stays finite for quantities whose direct
+// float64 value would overflow.
+func LogLogFromLog2(log2x float64) float64 {
+	if log2x <= 1 {
+		return 0
+	}
+	return math.Log2(log2x)
 }
 
 // Mean returns the arithmetic mean, 0 for an empty slice.

@@ -124,3 +124,34 @@ func TestHistogram(t *testing.T) {
 		t.Error("invalid Histogram parameters should return nil")
 	}
 }
+
+// TestLogStarNonFinite is the regression test for the former non-termination:
+// LogStar(+Inf) looped forever because math.Log2(+Inf) == +Inf. Non-finite
+// input must return the sentinel immediately, in both forms.
+func TestLogStarNonFinite(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	if got := LogStar(inf); got != LogStarUndefined {
+		t.Errorf("LogStar(+Inf) = %d, want %d", got, LogStarUndefined)
+	}
+	if got := LogStar(nan); got != LogStarUndefined {
+		t.Errorf("LogStar(NaN) = %d, want %d", got, LogStarUndefined)
+	}
+	if got := LogStar(math.Inf(-1)); got != 0 {
+		t.Errorf("LogStar(-Inf) = %d, want 0 (below the x<=1 convention)", got)
+	}
+	if got := LogStarFromLog2(inf); got != LogStarUndefined {
+		t.Errorf("LogStarFromLog2(+Inf) = %d, want %d", got, LogStarUndefined)
+	}
+	if got := LogStarFromLog2(nan); got != LogStarUndefined {
+		t.Errorf("LogStarFromLog2(NaN) = %d, want %d", got, LogStarUndefined)
+	}
+	// The overflow-range path the experiment layer relies on: a diversity
+	// whose float64 value would be +Inf is finite in log2 form.
+	if got := LogStarFromLog2(1100); got != 1+LogStar(1100) {
+		t.Errorf("LogStarFromLog2(1100) = %d, want %d", got, 1+LogStar(1100))
+	}
+	if got := LogStar(math.MaxFloat64); got != 5 {
+		t.Errorf("LogStar(MaxFloat64) = %d, want 5", got)
+	}
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the test suite with coverage and enforces the per-package floors in
+# scripts/coverage_floors.txt. Exits non-zero if any listed package tests
+# fail, is missing from the output (e.g. its tests were deleted), or covers
+# fewer statements than its floor.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-coverage.out}"
+out="$(go test -coverprofile="$profile" ./... 2>&1)" || { echo "$out"; exit 1; }
+echo "$out"
+
+fail=0
+while read -r pkg floor; do
+    case "$pkg" in ''|\#*) continue ;; esac
+    pct="$(echo "$out" | awk -v p="$pkg" '$1=="ok" && $2==p {
+        for (i = 1; i <= NF; i++) if ($i ~ /%$/) { sub(/%.*/, "", $i); print $i }
+    }')"
+    if [ -z "$pct" ]; then
+        echo "COVERAGE FAIL: no coverage reported for $pkg (tests missing?)"
+        fail=1
+        continue
+    fi
+    if awk -v got="$pct" -v want="$floor" 'BEGIN { exit !(got+0 < want+0) }'; then
+        echo "COVERAGE FAIL: $pkg at ${pct}% < floor ${floor}%"
+        fail=1
+    else
+        echo "coverage ok: $pkg ${pct}% >= ${floor}%"
+    fi
+done < scripts/coverage_floors.txt
+exit "$fail"
