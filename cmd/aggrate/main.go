@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"slices"
@@ -40,6 +41,7 @@ import (
 	"aggrate/internal/experiment"
 	"aggrate/internal/mst"
 	"aggrate/internal/scenario"
+	"aggrate/internal/schedule"
 	"aggrate/internal/scheduler"
 	"aggrate/internal/sinr"
 )
@@ -112,6 +114,8 @@ var validGraphs = []string{
 	experiment.GraphGamma, experiment.GraphOblivious, experiment.GraphArbitrary,
 }
 
+var validEngines = schedule.Engines()
+
 // validateChoices rejects values outside the valid set up front, so flag
 // typos fail fast instead of surfacing as per-instance errors mid-batch.
 func validateChoices(flagName string, given, valid []string) error {
@@ -131,7 +135,7 @@ func validateChoices(flagName string, given, valid []string) error {
 // resolve validates them and materializes the scenario list, size list, and
 // base Spec.
 type specFlags struct {
-	scenarios, ns, graph             *string
+	scenarios, ns, graph, engine     *string
 	seeds, workers                   *int
 	seed                             *uint64
 	gamma, delta, alpha, beta, noise *float64
@@ -151,6 +155,7 @@ func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlag
 		beta:      fs.Float64("beta", 2, "SINR threshold β"),
 		noise:     fs.Float64("noise", 0, "ambient noise N"),
 		verify:    fs.Bool("verify", true, "verify every slot against the SINR condition, escalating γ on failure"),
+		engine:    fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)"),
 		workers:   fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)"),
 	}
 }
@@ -168,13 +173,17 @@ func (sf *specFlags) resolve() ([]experiment.Scenario, []int, experiment.Spec, e
 	if err := validateChoices("graph", []string{*sf.graph}, validGraphs); err != nil {
 		return nil, nil, zero, err
 	}
+	if err := validateChoices("verify-engine", []string{*sf.engine}, validEngines); err != nil {
+		return nil, nil, zero, err
+	}
 	base := experiment.Spec{
-		Seed:   *sf.seed,
-		Graph:  *sf.graph,
-		Gamma:  *sf.gamma,
-		Delta:  *sf.delta,
-		SINR:   sinr.Params{Alpha: *sf.alpha, Beta: *sf.beta, Noise: *sf.noise, Epsilon: 0.5},
-		Verify: *sf.verify,
+		Seed:         *sf.seed,
+		Graph:        *sf.graph,
+		Gamma:        *sf.gamma,
+		Delta:        *sf.delta,
+		SINR:         sinr.Params{Alpha: *sf.alpha, Beta: *sf.beta, Noise: *sf.noise, Epsilon: 0.5},
+		Verify:       *sf.verify,
+		VerifyEngine: *sf.engine,
 	}
 	return scList, nList, base, nil
 }
@@ -391,7 +400,12 @@ func writeCompareTable(w io.Writer, summaries []experiment.Summary) {
 
 // AlgoBench is the per-strategy slice of one bench entry: the full pipeline
 // (schedule + verification with γ escalation) timed per algorithm on the
-// same instance.
+// same instance, plus the verification-engine split. VerifySec and
+// ExactPairsFrac time the selected engine re-verifying the final schedule;
+// when the naive reference also ran (n ≤ --naive-max, fast engine
+// selected), VerifyNaiveSec/VerifySpeedup/VerifyMatch record the
+// cross-check — VerifyMatch means identical verdict and margins within
+// 1e-9 relative.
 type AlgoBench struct {
 	Algo             string  `json:"algo"`
 	Colors           int     `json:"colors"`
@@ -401,6 +415,11 @@ type AlgoBench struct {
 	PipelineSec      float64 `json:"pipeline_sec"`
 	GammaRetries     int     `json:"gamma_retries"`
 	Verified         bool    `json:"verified"`
+	VerifySec        float64 `json:"verify_sec"`
+	ExactPairsFrac   float64 `json:"exact_pairs_frac"`
+	VerifyNaiveSec   float64 `json:"verify_naive_sec,omitempty"`
+	VerifySpeedup    float64 `json:"verify_speedup,omitempty"`
+	VerifyMatch      *bool   `json:"verify_match,omitempty"`
 }
 
 // BenchEntry is one row of the bench report. EdgesMatched is only present
@@ -434,12 +453,16 @@ type BenchReport struct {
 func cmdBench(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("bench", stderr)
 	sizes := fs.String("sizes", "1000,2000,5000,10000,20000", "comma-separated instance sizes")
-	naiveMax := fs.Int("naive-max", 20000, "largest n to also time the O(n²) reference build at")
+	naiveMax := fs.Int("naive-max", 20000, "largest n to also run the O(n²) reference build and verifier at")
 	seed := fs.Uint64("seed", 1, "instance seed")
 	preset := fs.String("scenario", "uniform", "scenario preset to benchmark on")
 	algos := fs.String("algo", strings.Join(scheduler.Names(), ","), "comma-separated algorithms to time the pipeline with")
+	engine := fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)")
 	out := fs.String("out", "BENCH_pipeline.json", "output path ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateChoices("verify-engine", []string{*engine}, validEngines); err != nil {
 		return err
 	}
 	nList, err := parseInts(*sizes)
@@ -490,11 +513,12 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		for _, algo := range algoList {
 			spec := experiment.NewSpec(sc, n, *seed)
 			spec.Algo = algo
+			spec.VerifyEngine = *engine
 			t0 = time.Now()
-			res := experiment.Run(spec)
+			inst, res, err := experiment.NewInstance(spec)
 			sec := time.Since(t0).Seconds()
-			if res.Err != "" {
-				return fmt.Errorf("bench pipeline algo=%s n=%d: %s", algo, n, res.Err)
+			if err != nil {
+				return fmt.Errorf("bench pipeline algo=%s n=%d: %w", algo, n, err)
 			}
 			ab := AlgoBench{
 				Algo:             algo,
@@ -506,6 +530,27 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 				GammaRetries:     res.GammaRetries,
 				Verified:         res.Verified,
 			}
+			// Verification split: time the selected engine re-verifying the
+			// final schedule (so gamma escalations don't muddy the number),
+			// and cross-check it against the naive oracle at sizes where the
+			// O(m²) path is affordable.
+			t0 = time.Now()
+			margin, vst, verr := inst.VerifySchedule(*engine)
+			ab.VerifySec = time.Since(t0).Seconds()
+			if verr != nil {
+				return fmt.Errorf("bench re-verify algo=%s n=%d: %w", algo, n, verr)
+			}
+			ab.ExactPairsFrac = vst.Engine.ExactPairsFrac()
+			if *engine == schedule.EngineFast && n <= *naiveMax {
+				t0 = time.Now()
+				nm, _, nerr := inst.VerifySchedule(schedule.EngineNaive)
+				ab.VerifyNaiveSec = time.Since(t0).Seconds()
+				match := nerr == nil && marginsClose(margin, nm)
+				ab.VerifyMatch = &match
+				if ab.VerifySec > 0 {
+					ab.VerifySpeedup = ab.VerifyNaiveSec / ab.VerifySec
+				}
+			}
 			entry.Algos = append(entry.Algos, ab)
 			if algo == algoList[0] {
 				entry.PipelineSec = sec
@@ -513,8 +558,8 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 				entry.Verified = res.Verified
 			}
 			fmt.Fprintf(stderr,
-				"aggrate bench: n=%-6d algo=%-11s colors=%-5d rate=%.5f c/log*=%.2f pipeline=%.3fs\n",
-				n, algo, ab.Colors, ab.Rate, ab.ColorsPerLogStar, sec)
+				"aggrate bench: n=%-6d algo=%-11s colors=%-5d rate=%.5f c/log*=%.2f pipeline=%.3fs verify=%.3fs exact=%.3f\n",
+				n, algo, ab.Colors, ab.Rate, ab.ColorsPerLogStar, sec, ab.VerifySec, ab.ExactPairsFrac)
 		}
 		report.Entries = append(report.Entries, entry)
 		fmt.Fprintf(stderr,
@@ -573,6 +618,16 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// marginsClose reports whether two verification margins agree within 1e-9
+// relative (the fast engine's documented tolerance against the naive
+// oracle); +Inf margins (singleton slots, zero noise) must agree exactly.
+func marginsClose(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return a == b
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
 }
 
 // sameEdgeSet reports whether two conflict graphs over the same link set

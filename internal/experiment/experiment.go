@@ -72,6 +72,10 @@ type Spec struct {
 	SINR   sinr.Params
 	Refine bool
 	Verify bool
+	// VerifyEngine selects the SINR verification engine:
+	// schedule.EngineFast (the default) or schedule.EngineNaive, the exact
+	// O(m²)-per-slot oracle.
+	VerifyEngine string
 	// MaxGammaRetries bounds the escalation loop (default 8).
 	MaxGammaRetries int
 	// GammaStep is the escalation factor (default 1.5).
@@ -137,6 +141,9 @@ func (s Spec) normalized() Spec {
 	if s.SINR == (sinr.Params{}) {
 		s.SINR = sinr.DefaultParams()
 	}
+	if s.VerifyEngine == "" {
+		s.VerifyEngine = schedule.EngineFast
+	}
 	if s.MaxGammaRetries <= 0 {
 		s.MaxGammaRetries = 8
 	}
@@ -164,12 +171,39 @@ func (s Spec) powerFunc(links []geom.Link) (schedule.PowerFunc, error) {
 	case PowerLinear:
 		sch = power.Linear()
 	case PowerGlobal:
+		// Per-instance memo of solved slot power vectors, keyed by slot
+		// content. Jacobi solving dominates global-power verification, and
+		// the same slot is verified more than once whenever the final
+		// schedule is re-checked — the bench's fast-vs-naive cross-check,
+		// the parity suite, Instance.VerifySchedule — so each distinct slot
+		// is solved exactly once per instance. Callers must not mutate the
+		// returned vector; the function is safe for concurrent use.
+		var mu sync.Mutex
+		cache := make(map[string][]float64)
 		return func(_ int, linkIdx []int) ([]float64, error) {
+			raw := make([]byte, 0, 4*len(linkIdx))
+			for _, i := range linkIdx {
+				raw = append(raw, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+			}
+			key := string(raw)
+			mu.Lock()
+			v, ok := cache[key]
+			mu.Unlock()
+			if ok {
+				return v, nil
+			}
 			slot := make([]geom.Link, len(linkIdx))
 			for k, i := range linkIdx {
 				slot[k] = links[i]
 			}
-			return power.Solve(slot, s.SINR, power.SolveOptions{})
+			out, err := power.Solve(slot, s.SINR, power.SolveOptions{})
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			cache[key] = out
+			mu.Unlock()
+			return out, nil
 		}, nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown power scheme %q", s.Power)
@@ -205,9 +239,39 @@ type Instance struct {
 	// Margin is the worst slot SINR margin observed by VerifySINR
 	// (+Inf when every slot is a singleton under zero noise).
 	Margin float64
+	// VerifyStats is the fast engine's diagnostic record for the final
+	// verification pass; zero when VerifyEngine is naive or Verify is off.
+	VerifyStats schedule.VerifyStats
+	// pf is the slot-power supplier verification used, retained so
+	// VerifySchedule can re-verify without re-deriving powers (and, under
+	// global power control, without re-solving cached slots).
+	pf schedule.PowerFunc
 }
 
-// Timings records per-stage wall-clock seconds.
+// VerifySchedule re-verifies the instance's final schedule with the named
+// engine (schedule.EngineFast or schedule.EngineNaive; empty means fast),
+// returning the worst slot margin and, for the fast engine, its
+// diagnostics. It is the cross-check hook of the bench command and the
+// fast≡naive parity suite.
+func (in *Instance) VerifySchedule(engine string) (float64, schedule.VerifyStats, error) {
+	if in.Schedule == nil || in.pf == nil {
+		return 0, schedule.VerifyStats{}, fmt.Errorf("experiment: instance has no schedule to verify")
+	}
+	switch engine {
+	case schedule.EngineNaive:
+		m, err := in.Schedule.VerifySINRNaive(in.Spec.SINR, in.pf)
+		return m, schedule.VerifyStats{}, err
+	case schedule.EngineFast, "":
+		return in.Schedule.VerifySINRFast(in.Spec.SINR, in.pf)
+	default:
+		return 0, schedule.VerifyStats{}, fmt.Errorf("experiment: unknown verify engine %q (have %v)",
+			engine, schedule.Engines())
+	}
+}
+
+// Timings records per-stage wall-clock seconds, plus the verification
+// engine's work diagnostics (which ride along here so the bench artifact
+// and golden outputs carry them next to the times they explain).
 type Timings struct {
 	GenerateSec float64 `json:"generate_sec"`
 	MSTSec      float64 `json:"mst_sec"`
@@ -215,7 +279,18 @@ type Timings struct {
 	ColorSec    float64 `json:"color_sec"`
 	RefineSec   float64 `json:"refine_sec,omitempty"`
 	VerifySec   float64 `json:"verify_sec"`
-	TotalSec    float64 `json:"total_sec"`
+	// PowerSolveSec is the CPU time spent computing slot power assignments
+	// (global power's per-slot Solve; ≈0 for oblivious schemes), summed
+	// over slots. Slots verify in parallel, so this can exceed the
+	// wall-clock VerifySec. Only measured by the fast engine.
+	PowerSolveSec float64 `json:"power_solve_sec"`
+	// VerifyExactLinks counts link-slot pairs the fast engine resolved via
+	// its exact pairwise fallback, summed over gamma escalations.
+	VerifyExactLinks int64 `json:"verify_exact_links,omitempty"`
+	// VerifyExactPairsFrac is the fraction of the naive O(m²) pairwise
+	// work the fast engine actually performed (near-field + fallback).
+	VerifyExactPairsFrac float64 `json:"verify_exact_pairs_frac,omitempty"`
+	TotalSec             float64 `json:"total_sec"`
 }
 
 // Result is the JSON-ready metric record of one instance.
@@ -307,14 +382,25 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 		N:        spec.N, Seed: spec.Seed,
 		Power: spec.Power, Graph: spec.Graph, Algo: spec.Algo,
 	}
-	// Reject unknown graph kinds before paying for generation.
+	// Reject unknown graph kinds and verify engines before paying for
+	// generation.
 	if _, err := spec.config(spec.Gamma).ConflictFunc(); err != nil {
 		return nil, res, err
 	}
+	if spec.VerifyEngine != schedule.EngineFast && spec.VerifyEngine != schedule.EngineNaive {
+		return nil, res, fmt.Errorf("experiment: unknown verify engine %q (have %v)",
+			spec.VerifyEngine, schedule.Engines())
+	}
 	// TotalSec is stamped on every exit path, so stage timings of a run
-	// that failed mid-pipeline still come with their wall-clock total.
+	// that failed mid-pipeline still come with their wall-clock total;
+	// the engine work counters ride along the same way.
+	var engStats sinr.EngineStats
 	start := time.Now()
-	defer func() { res.Timings.TotalSec = time.Since(start).Seconds() }()
+	defer func() {
+		res.Timings.TotalSec = time.Since(start).Seconds()
+		res.Timings.VerifyExactLinks = engStats.ExactLinks
+		res.Timings.VerifyExactPairsFrac = engStats.ExactPairsFrac()
+	}()
 
 	t0 := time.Now()
 	pts := spec.Scenario.Generate(spec.N, spec.Seed)
@@ -355,7 +441,7 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 		return nil, res, err
 	}
 
-	inst := &Instance{Spec: spec, Points: pts, Tree: tree}
+	inst := &Instance{Spec: spec, Points: pts, Tree: tree, pf: pf}
 	gamma := spec.Gamma
 	for attempt := 0; ; attempt++ {
 		// Stage timings accumulate across escalation attempts so that they
@@ -389,7 +475,17 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 			break
 		}
 		t0 = time.Now()
-		margin, verr := sched.VerifySINR(spec.SINR, pf)
+		var margin float64
+		var verr error
+		if spec.VerifyEngine == schedule.EngineNaive {
+			margin, verr = sched.VerifySINRNaive(spec.SINR, pf)
+		} else {
+			var vst schedule.VerifyStats
+			margin, vst, verr = sched.VerifySINRFast(spec.SINR, pf)
+			engStats.Add(vst.Engine)
+			res.Timings.PowerSolveSec += vst.PowerSec
+			inst.VerifyStats = vst
+		}
 		res.Timings.VerifySec += time.Since(t0).Seconds()
 		if verr == nil {
 			inst.Margin = margin

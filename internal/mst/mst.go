@@ -4,10 +4,17 @@
 //
 // The paper's protocol (Sec. 3) uses the MST with edges directed arbitrarily;
 // for the convergecast semantics of the simulator, edges point from child to
-// parent along the unique sink-rooted orientation. Two constructions are
-// provided — Prim in O(n²) time and O(n) memory, and Kruskal over all pairs —
-// which cross-check each other in tests. For collinear pointsets LineMST
-// exploits the 1-D structure (connect neighbors in sorted order).
+// parent along the unique sink-rooted orientation. Three constructions are
+// provided: EMST, a grid-accelerated Borůvka that is near-linear on the
+// experiment scenarios and the production path of NewMSTTree; Prim in O(n²)
+// time and O(n) memory, the oracle EMST is cross-checked against; and
+// Kruskal over all pairs as an independent second oracle. EMST resolves
+// equal-weight candidates with Kruskal's edge order (weight, then the sorted
+// endpoint pair), which makes it exact even on tie-heavy inputs; on
+// pointsets with distinct pairwise distances (all jittered generators) the
+// MST is unique and all three constructions agree edge-for-edge. For
+// collinear pointsets LineMST exploits the 1-D structure (connect neighbors
+// in sorted order).
 package mst
 
 import (
@@ -111,6 +118,183 @@ func Kruskal(pts []geom.Point) []Edge {
 		}
 	}
 	return edges
+}
+
+// emstCutoff is the pointset size below which the dense Prim is faster than
+// building the grid.
+const emstCutoff = 256
+
+// EMST computes the Euclidean MST with Borůvka's algorithm over a uniform
+// hash grid: each round finds, for every component, its minimum outgoing
+// edge by ring-searching the grid outward from each point until the ring's
+// lower distance bound exceeds the component's best candidate so far, then
+// merges components along the selected edges. Components halve per round,
+// so there are O(log n) rounds, and the shared per-component bound prunes
+// almost every interior point's search after the first boundary point has
+// found a close foreign neighbor — near-linear work on the experiment
+// scenarios.
+//
+// Exactness: Borůvka is exact whenever each component selects a true
+// minimum outgoing edge under a total order on edges; candidates are
+// compared by (squared distance, sorted endpoint pair), Kruskal's order, so
+// ties cannot produce a non-minimum tree. Degenerate inputs (zero extent,
+// non-finite coordinates) fall back to Prim.
+func EMST(pts []geom.Point) []Edge {
+	n := len(pts)
+	if n < emstCutoff {
+		return Prim(pts)
+	}
+	lo, hi := geom.BoundingBox(pts)
+	ext := math.Max(hi.X-lo.X, hi.Y-lo.Y)
+	if !(ext > 0) || math.IsInf(ext, 1) {
+		return Prim(pts)
+	}
+	// Base grid at ~1 point per cell.
+	d0 := 1
+	for d0*d0 < n && d0 < 4096 {
+		d0 <<= 1
+	}
+	cs := ext / float64(d0)
+	cellIdx := func(p geom.Point) (int, int) {
+		cx := int((p.X - lo.X) / cs)
+		cy := int((p.Y - lo.Y) / cs)
+		if cx < 0 {
+			cx = 0
+		} else if cx >= d0 {
+			cx = d0 - 1
+		}
+		if cy < 0 {
+			cy = 0
+		} else if cy >= d0 {
+			cy = d0 - 1
+		}
+		return cx, cy
+	}
+	// CSR layout: points grouped by cell.
+	starts := make([]int32, d0*d0+1)
+	cellOf := make([]int32, n)
+	for i, p := range pts {
+		cx, cy := cellIdx(p)
+		cellOf[i] = int32(cy*d0 + cx)
+		starts[cellOf[i]+1]++
+	}
+	for c := 0; c < d0*d0; c++ {
+		starts[c+1] += starts[c]
+	}
+	fill := append([]int32(nil), starts[:d0*d0]...)
+	members := make([]int32, n)
+	for i := 0; i < n; i++ {
+		members[fill[cellOf[i]]] = int32(i)
+		fill[cellOf[i]]++
+	}
+
+	dsu := unionfind.New(n)
+	edges := make([]Edge, 0, n-1)
+	bestD2 := make([]float64, n) // indexed by component root
+	bestU := make([]int32, n)
+	bestV := make([]int32, n)
+	roots := make([]int32, 0, n)
+	// better reports whether candidate (d2, u, v) precedes the root's
+	// current best under Kruskal's order (weight, sorted endpoint pair).
+	better := func(r int, d2 float64, u, v int32) bool {
+		if d2 != bestD2[r] {
+			return d2 < bestD2[r]
+		}
+		au, av := minmax32(u, v)
+		bu, bv := minmax32(bestU[r], bestV[r])
+		if au != bu {
+			return au < bu
+		}
+		return av < bv
+	}
+	for len(edges) < n-1 {
+		roots = roots[:0]
+		for i := 0; i < n; i++ {
+			if r := dsu.Find(i); r == i {
+				bestD2[i] = math.Inf(1)
+				bestU[i], bestV[i] = -1, -1
+				roots = append(roots, int32(i))
+			}
+		}
+		// Minimum outgoing edge per component, via bounded ring search.
+		for i := 0; i < n; i++ {
+			r := dsu.Find(i)
+			p := pts[i]
+			cx, cy := cellIdx(p)
+			for ring := 0; ; ring++ {
+				// Ring lower bound: any point in a cell at Chebyshev ring
+				// distance k from p's cell is at least (k-1)·cs away from p,
+				// so once that exceeds the component's best candidate the
+				// remaining rings cannot contain the minimum (nor an
+				// equal-weight tie, which the strict inequality excludes).
+				if ring >= 2 {
+					lb := float64(ring-1) * cs
+					if lb*lb > bestD2[r] {
+						break
+					}
+				}
+				x0, x1 := cx-ring, cx+ring
+				y0, y1 := cy-ring, cy+ring
+				if x0 < 0 && x1 >= d0 && y0 < 0 && y1 >= d0 {
+					break // the shell lies entirely outside the grid
+				}
+				for y := y0; y <= y1; y++ {
+					if y < 0 || y >= d0 {
+						continue
+					}
+					for x := x0; x <= x1; x++ {
+						if x < 0 || x >= d0 {
+							continue
+						}
+						// Ring shell only: interior cells were visited by
+						// smaller rings.
+						if ring > 0 && x != x0 && x != x1 && y != y0 && y != y1 {
+							continue
+						}
+						c := y*d0 + x
+						for _, j := range members[starts[c]:starts[c+1]] {
+							if dsu.Find(int(j)) == r {
+								continue
+							}
+							d2 := p.Dist2(pts[j])
+							if d2 < bestD2[r] || (d2 == bestD2[r] && better(r, d2, int32(i), j)) {
+								bestD2[r] = d2
+								bestU[r], bestV[r] = int32(i), j
+							}
+						}
+					}
+				}
+			}
+		}
+		// Merge along the selected edges.
+		progressed := false
+		for _, r := range roots {
+			if bestV[r] < 0 {
+				continue
+			}
+			if dsu.Union(int(bestU[r]), int(bestV[r])) {
+				edges = append(edges, Edge{
+					U: int(bestU[r]), V: int(bestV[r]),
+					Weight: math.Sqrt(bestD2[r]),
+				})
+				progressed = true
+			}
+		}
+		if !progressed {
+			// No component found an outgoing edge (NaN coordinates or a
+			// bound inversion): the dense oracle handles what the grid
+			// cannot.
+			return Prim(pts)
+		}
+	}
+	return edges
+}
+
+func minmax32(a, b int32) (int32, int32) {
+	if a < b {
+		return a, b
+	}
+	return b, a
 }
 
 // LineMST computes the MST of a collinear pointset (sorted-neighbor chain).
@@ -237,9 +421,11 @@ func Build(pts []geom.Point, edges []Edge, sink int) (*Tree, error) {
 }
 
 // NewMSTTree is the one-call constructor used by the public planner: it
-// computes the Euclidean MST of pts (Prim) and orients it toward sink.
+// computes the Euclidean MST of pts (grid-accelerated Borůvka, with the
+// dense Prim as small-input and degenerate-input fallback) and orients it
+// toward sink.
 func NewMSTTree(pts []geom.Point, sink int) (*Tree, error) {
-	return Build(pts, Prim(pts), sink)
+	return Build(pts, EMST(pts), sink)
 }
 
 // N returns the number of nodes.

@@ -95,3 +95,132 @@ func TestBuildRejectsBadEdges(t *testing.T) {
 		t.Fatal("Build accepted an out-of-range sink")
 	}
 }
+
+// edgeKey normalizes an edge to its sorted endpoint pair.
+func edgeKey(e Edge) [2]int {
+	if e.U > e.V {
+		return [2]int{e.V, e.U}
+	}
+	return [2]int{e.U, e.V}
+}
+
+// sameEdges reports whether two edge lists describe the same undirected
+// edge set.
+func sameEdges(a, b []Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[[2]int]bool, len(a))
+	for _, e := range a {
+		set[edgeKey(e)] = true
+	}
+	for _, e := range b {
+		if !set[edgeKey(e)] {
+			return false
+		}
+	}
+	return true
+}
+
+// clusteredPoints bunches points into tight far-apart clusters, the
+// adversarial layout for the grid ring search (late Borůvka rounds must
+// reach across wide empty space).
+func clusteredPoints(n int, seed uint64) []geom.Point {
+	r := rng.New(seed)
+	centers := []geom.Point{{X: 0, Y: 0}, {X: 5000, Y: 100}, {X: 2000, Y: 4000}, {X: 4800, Y: 4900}}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[int(r.Uint64()%uint64(len(centers)))]
+		pts[i] = c.Add(geom.Point{X: r.NormFloat64() * 8, Y: r.NormFloat64() * 8})
+	}
+	return pts
+}
+
+// TestEMSTMatchesPrim: the grid Borůvka must reproduce the dense oracle's
+// edge set exactly on jittered pointsets (where the MST is unique), uniform
+// and clustered, above and below the grid cutoff.
+func TestEMSTMatchesPrim(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		for _, n := range []int{2, 50, 300, 1500} {
+			pts := randomPoints(n, seed*31+uint64(n), 1000)
+			if !sameEdges(EMST(pts), Prim(pts)) {
+				t.Fatalf("uniform n=%d seed=%d: EMST edge set differs from Prim", n, seed)
+			}
+			cl := clusteredPoints(n, seed*37+uint64(n))
+			if !sameEdges(EMST(cl), Prim(cl)) {
+				t.Fatalf("clustered n=%d seed=%d: EMST edge set differs from Prim", n, seed)
+			}
+		}
+	}
+}
+
+// TestEMSTAnnulus exercises strongly non-uniform density (the annulus
+// scenario shape: radii spread over decades).
+func TestEMSTAnnulus(t *testing.T) {
+	r := rng.New(9)
+	n := 800
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		rad := math.Pow(10, r.Float64()*4) // 1..1e4
+		th := r.Float64() * 2 * math.Pi
+		pts[i] = geom.Point{X: rad * math.Cos(th), Y: rad * math.Sin(th)}
+	}
+	if !sameEdges(EMST(pts), Prim(pts)) {
+		t.Fatal("annulus: EMST edge set differs from Prim")
+	}
+}
+
+// TestEMSTTieHeavy: on an exact integer grid every nearest-neighbor
+// distance ties, so this pins the Kruskal-order tie-breaking — the result
+// must still be a spanning tree of minimum total weight.
+func TestEMSTTieHeavy(t *testing.T) {
+	var pts []geom.Point
+	for y := 0; y < 30; y++ {
+		for x := 0; x < 30; x++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	got := EMST(pts)
+	if len(got) != len(pts)-1 {
+		t.Fatalf("EMST returned %d edges for %d points", len(got), len(pts))
+	}
+	wantW := TotalWeight(Prim(pts))
+	if gotW := TotalWeight(got); math.Abs(gotW-wantW) > 1e-9*wantW {
+		t.Fatalf("tie-heavy: EMST weight %.12g != optimum %.12g", gotW, wantW)
+	}
+	if _, err := Build(pts, got, 0); err != nil {
+		t.Fatalf("EMST edges do not form a spanning tree: %v", err)
+	}
+}
+
+// TestEMSTDegenerate: coincident points (zero extent) must fall back to the
+// dense path and still span.
+func TestEMSTDegenerate(t *testing.T) {
+	pts := make([]geom.Point, 400)
+	for i := range pts {
+		pts[i] = geom.Point{X: 1, Y: 2}
+	}
+	edges := EMST(pts)
+	if len(edges) != len(pts)-1 {
+		t.Fatalf("degenerate: %d edges for %d points", len(edges), len(pts))
+	}
+	if _, err := Build(pts, edges, 0); err != nil {
+		t.Fatalf("degenerate edges do not span: %v", err)
+	}
+}
+
+// BenchmarkMST compares the dense Prim with the grid Borůvka at a
+// pipeline-realistic size.
+func BenchmarkMST(b *testing.B) {
+	pts := randomPoints(10000, 42, 1000)
+	b.Run("prim", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Prim(pts)
+		}
+	})
+	b.Run("emst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EMST(pts)
+		}
+	})
+}

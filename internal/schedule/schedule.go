@@ -65,7 +65,8 @@ func New(links []geom.Link, slots [][]int) *Schedule {
 // Period returns the schedule length (number of slots per period).
 func (s *Schedule) Period() int { return len(s.Slots) }
 
-// Occurrences returns how many slots of the period each link appears in.
+// Occurrences returns how many slots of the period each link appears in,
+// in one pass over the slots.
 func (s *Schedule) Occurrences() []int {
 	occ := make([]int, len(s.Links))
 	for _, slot := range s.Slots {
@@ -78,13 +79,15 @@ func (s *Schedule) Occurrences() []int {
 
 // Rate returns the aggregation rate of the schedule: the minimum over links
 // of occurrences/Period (Sec. 2). An empty or zero-period schedule has rate
-// 0; a schedule missing some link has rate 0.
+// 0; a schedule missing some link has rate 0. The counts come from a single
+// Occurrences pass over the slots.
 func (s *Schedule) Rate() float64 {
 	if s.Period() == 0 || len(s.Links) == 0 {
 		return 0
 	}
-	minOcc := math.MaxInt
-	for _, o := range s.Occurrences() {
+	occ := s.Occurrences()
+	minOcc := occ[0]
+	for _, o := range occ[1:] {
 		if o < minOcc {
 			minOcc = o
 		}
@@ -94,11 +97,12 @@ func (s *Schedule) Rate() float64 {
 
 // Validate checks structural sanity: every slot references valid link
 // indices with no duplicates inside a slot, and every link appears at least
-// once per period.
+// once per period. One []bool seen-buffer is reused across slots (reset by
+// walking the slot again) instead of allocating a map per slot.
 func (s *Schedule) Validate() error {
 	occ := make([]int, len(s.Links))
+	seen := make([]bool, len(s.Links))
 	for k, slot := range s.Slots {
-		seen := make(map[int]bool, len(slot))
 		for _, i := range slot {
 			if i < 0 || i >= len(s.Links) {
 				return fmt.Errorf("schedule: slot %d references link %d out of range", k, i)
@@ -108,6 +112,9 @@ func (s *Schedule) Validate() error {
 			}
 			seen[i] = true
 			occ[i]++
+		}
+		for _, i := range slot {
+			seen[i] = false
 		}
 	}
 	for i, o := range occ {
@@ -138,11 +145,12 @@ func FixedPower(perLink []float64) PowerFunc {
 	}
 }
 
-// VerifySINR checks that every slot of the schedule is SINR-feasible under
-// the powers provided by pf. It returns the worst slot margin observed
-// (min over slots of min over links of SINR/β) and an error naming the
-// first infeasible slot, if any.
-func (s *Schedule) VerifySINR(p sinr.Params, pf PowerFunc) (float64, error) {
+// VerifySINRNaive checks every slot by the exact O(m²) pairwise evaluation
+// (sinr.Params.Margin), sequentially. It is retained as the oracle for the
+// fast engine behind VerifySINR (see verify.go): both return the same
+// margins (up to floating-point accumulation order) and identical error
+// conditions and messages.
+func (s *Schedule) VerifySINRNaive(p sinr.Params, pf PowerFunc) (float64, error) {
 	worst := math.Inf(1)
 	for k, slot := range s.Slots {
 		if len(slot) == 0 {

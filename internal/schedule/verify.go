@@ -1,0 +1,128 @@
+// SINR verification engines. VerifySINR routes through the fast engine
+// (internal/sinr.Engine: cached gains, grid-aggregated far-field intervals,
+// exact fallback) with slots verified across the shared internal/par worker
+// pool; VerifySINRNaive in schedule.go retains the exact O(m²)-per-slot
+// oracle. Both return identical margins (up to floating-point accumulation
+// order, ≲1e-12 relative) and identical error conditions, messages, and
+// slot ordering: the fast path evaluates slots in parallel but reduces the
+// results in slot order, reproducing the naive path's first-infeasible-slot
+// semantics exactly.
+
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"aggrate/internal/par"
+	"aggrate/internal/sinr"
+)
+
+// Verification engine names, as accepted by the experiment layer and the
+// CLI --verify-engine flag.
+const (
+	// EngineFast is the near-linear engine (the default).
+	EngineFast = "fast"
+	// EngineNaive is the exact O(m²)-per-slot reference path.
+	EngineNaive = "naive"
+)
+
+// Engines lists the verification engines in canonical order.
+func Engines() []string { return []string{EngineFast, EngineNaive} }
+
+// VerifyStats reports what a fast verification run did: the engine's work
+// counters plus the wall-clock split between power assignment (where global
+// power control pays its per-slot Solve) and margin computation.
+type VerifyStats struct {
+	// Slots counts the non-empty slots examined.
+	Slots int
+	// Engine aggregates the fast engine's work counters.
+	Engine sinr.EngineStats
+	// PowerSec is the wall-clock spent in the PowerFunc, summed over slots.
+	PowerSec float64
+	// MarginSec is the wall-clock spent computing slot margins, summed over
+	// slots. Both sums add per-slot times, so under parallel verification
+	// they can exceed the elapsed wall-clock by up to the worker count.
+	MarginSec float64
+}
+
+// VerifySINR checks that every slot of the schedule is SINR-feasible under
+// the powers provided by pf, via the fast engine. It returns the worst slot
+// margin observed (min over slots of min over links of SINR/β) and an error
+// naming the first infeasible slot, if any — the same contract, margins, and
+// error messages as VerifySINRNaive. pf must be safe for concurrent use;
+// FixedPower and the experiment layer's power functions are.
+func (s *Schedule) VerifySINR(p sinr.Params, pf PowerFunc) (float64, error) {
+	m, _, err := s.VerifySINRFast(p, pf)
+	return m, err
+}
+
+// VerifySINRFast is VerifySINR returning the engine diagnostics alongside.
+func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyStats, error) {
+	var st VerifyStats
+	eng := sinr.NewEngine(p, s.Links)
+	type slotOut struct {
+		margin              float64
+		powerSec, marginSec float64
+		pfErr, mErr         error
+	}
+	outs := make([]slotOut, len(s.Slots))
+	var mu sync.Mutex
+	// Block size 1: slot sizes are heavily skewed (first-fit slot 0 is the
+	// largest), so fine-grained stealing is what balances the pool.
+	par.ForBlocks(len(s.Slots), 1, func(next func() (int, int, bool)) {
+		sc := sinr.NewEngineScratch()
+		var es sinr.EngineStats
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for k := lo; k < hi; k++ {
+				slot := s.Slots[k]
+				if len(slot) == 0 {
+					continue
+				}
+				t0 := time.Now()
+				powers, err := pf(k, slot)
+				outs[k].powerSec = time.Since(t0).Seconds()
+				if err != nil {
+					outs[k].pfErr = err
+					continue
+				}
+				t0 = time.Now()
+				outs[k].margin, outs[k].mErr = eng.MarginSlot(slot, powers, sc, &es)
+				outs[k].marginSec = time.Since(t0).Seconds()
+			}
+		}
+		mu.Lock()
+		st.Engine.Add(es)
+		mu.Unlock()
+	})
+
+	// Deterministic reduction in slot order, replicating the naive path's
+	// early-return values: a power/margin error at the first offending slot
+	// returns 0; the first infeasible slot returns the min margin over the
+	// slots up to and including it.
+	worst := math.Inf(1)
+	for k := range outs {
+		if len(s.Slots[k]) == 0 {
+			continue
+		}
+		o := &outs[k]
+		st.Slots++
+		st.PowerSec += o.powerSec
+		st.MarginSec += o.marginSec
+		if o.pfErr != nil {
+			return 0, st, fmt.Errorf("schedule: slot %d power assignment: %w", k, o.pfErr)
+		}
+		if o.mErr != nil {
+			return 0, st, fmt.Errorf("schedule: slot %d: %w", k, o.mErr)
+		}
+		if o.margin < worst {
+			worst = o.margin
+		}
+		if o.margin < 1 {
+			return worst, st, fmt.Errorf("schedule: slot %d infeasible (margin %.4g < 1)", k, o.margin)
+		}
+	}
+	return worst, st, nil
+}

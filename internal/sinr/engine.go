@@ -1,0 +1,541 @@
+// Engine is the fast SINR verification kernel behind
+// (*schedule.Schedule).VerifySINR. The naive Margin does exact O(m²)
+// pairwise interference per slot with a fresh math.Pow on every pair; the
+// engine cuts the hot path to near-linear in three layers while keeping
+// every returned verdict and margin exact:
+//
+//  1. Cached-gain kernel. Per-link l_i^α is computed once per schedule
+//     (NewEngine); on the hot path all distances stay squared and are raised
+//     to α via (d²)^(α/2) with closed forms for α ∈ {2, 3, 4}, so the
+//     generic math.Pow survives only for fractional exponents.
+//
+//  2. Grid-aggregated far-field bound. Each slot's senders are bucketed into
+//     a dyadic grid pyramid (the same dyadic machinery style as the
+//     internal/conflict build: a power-of-two base grid plus coarser levels
+//     merging 2×2 children). For a receiver, any pyramid node whose
+//     sender bounding box is far relative to its size — max/min squared
+//     distance within a factor θ² — contributes its total power mass over
+//     [maxdist, mindist], giving a certified interval for the interference
+//     and hence for the link's SINR margin. Nearby nodes are opened; base
+//     cells are summed exactly. A Barnes–Hut-style descent therefore costs
+//     O(near + log m) per link instead of O(m).
+//
+//  3. Exact fallback. The slot's worst margin is the minimum over links, so
+//     only links whose margin interval reaches below the smallest interval
+//     upper bound U can attain it; exactly those links (a small set, since
+//     margins spread while intervals are narrow) are re-evaluated by the
+//     exact pairwise sum, in slot order like the naive path. Every interval
+//     is padded by a relative 1e-9 so floating-point slop between the two
+//     arithmetic styles can never eject the true argmin from the candidate
+//     set — the returned margin is always an exactly-computed one.
+//
+// Determinism: MarginSlot is a pure function of (params, links, slot,
+// powers); scratch and stats only carry reusable buffers and counters.
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"aggrate/internal/geom"
+)
+
+// intervalPad is the relative padding applied to the certified margin
+// intervals before candidate selection. It dominates the accumulated
+// floating-point discrepancy between the interval arithmetic and the exact
+// pairwise sum (≈ m·2⁻⁵² ≲ 1e-10 even for million-link slots), so interval
+// containment — and with it the exactness of the returned margin — survives
+// rounding.
+const intervalPad = 1e-9
+
+// engineExactCutoff is the slot size at or below which the grid is not worth
+// building and the engine runs the exact pairwise evaluation directly (still
+// on the cached-gain kernel, so small slots skip per-pair math.Pow too).
+const engineExactCutoff = 64
+
+// engineTheta2 is the squared opening threshold θ²: a pyramid node is
+// aggregated when maxdist² ≤ θ²·mindist², i.e. its power mass is localized
+// within a factor θ of its distance, bounding the per-node interval ratio by
+// θ^α. Smaller θ tightens intervals (fewer exact fallbacks) but opens more
+// nodes; θ = 1.15 balances the two on the experiment scenarios.
+const engineTheta2 = 1.15 * 1.15
+
+// engineMaxGridDim caps the base-grid resolution (memory is O(dim²)).
+const engineMaxGridDim = 1024
+
+// Engine caches per-link gains for repeated slot verification over a fixed
+// link set. Create one per schedule with NewEngine; MarginSlot is then safe
+// for concurrent use as long as each goroutine owns its EngineScratch and
+// EngineStats.
+type Engine struct {
+	p         Params
+	alphaHalf float64
+	powMode   int
+	links     []geom.Link
+	// lenA[i] = l_i^α, the received-signal denominator of link i.
+	lenA []float64
+}
+
+// pow-mode fast paths for (d²)^(α/2).
+const (
+	powGeneric = iota
+	powAlpha2
+	powAlpha3
+	powAlpha4
+)
+
+// NewEngine precomputes the per-link gain cache for the link set. The links
+// slice is retained (not copied); callers must not mutate it while the
+// engine is in use.
+func NewEngine(p Params, links []geom.Link) *Engine {
+	e := &Engine{p: p, alphaHalf: p.Alpha / 2, powMode: powGeneric, links: links}
+	switch p.Alpha {
+	case 2:
+		e.powMode = powAlpha2
+	case 3:
+		e.powMode = powAlpha3
+	case 4:
+		e.powMode = powAlpha4
+	}
+	e.lenA = make([]float64, len(links))
+	for i, l := range links {
+		e.lenA[i] = e.powD2(l.S.Dist2(l.R))
+	}
+	return e
+}
+
+// powD2 returns (d2)^(α/2) = d^α for the squared distance d2.
+func (e *Engine) powD2(d2 float64) float64 {
+	switch e.powMode {
+	case powAlpha2:
+		return d2
+	case powAlpha3:
+		return d2 * math.Sqrt(d2)
+	case powAlpha4:
+		return d2 * d2
+	default:
+		return math.Pow(d2, e.alphaHalf)
+	}
+}
+
+// EngineStats counts the work the engine performed, for diagnostics and the
+// bench artifact. All fields are exact sums over the verified slots and are
+// deterministic in the input regardless of slot-level parallelism.
+type EngineStats struct {
+	// Links counts link-slot SINR evaluations.
+	Links int64
+	// ExactLinks counts links resolved by the exact pairwise fallback
+	// (including every link of slots at or below the small-slot cutoff).
+	ExactLinks int64
+	// ExactPairs counts pairwise interference terms evaluated by the
+	// fallback.
+	ExactPairs int64
+	// NearPairs counts pairwise terms evaluated exactly in the near field
+	// of the grid pass.
+	NearPairs int64
+	// FarNodes counts pyramid nodes accepted by the far-field bound.
+	FarNodes int64
+	// NaivePairs counts the pairwise terms the naive path would have
+	// evaluated: Σ_slots m·(m−1).
+	NaivePairs int64
+}
+
+// Add accumulates o into st.
+func (st *EngineStats) Add(o EngineStats) {
+	st.Links += o.Links
+	st.ExactLinks += o.ExactLinks
+	st.ExactPairs += o.ExactPairs
+	st.NearPairs += o.NearPairs
+	st.FarNodes += o.FarNodes
+	st.NaivePairs += o.NaivePairs
+}
+
+// ExactPairsFrac returns the fraction of the naive pairwise work the engine
+// actually performed ((near + fallback pairs) / naive pairs), the headline
+// "how much O(m²) survived" diagnostic. Zero when no pairs were required.
+func (st EngineStats) ExactPairsFrac() float64 {
+	if st.NaivePairs == 0 {
+		return 0
+	}
+	return float64(st.ExactPairs+st.NearPairs) / float64(st.NaivePairs)
+}
+
+// engineNode is one pyramid node: the total transmit power mass of the
+// senders it covers and their exact bounding box. A zero mass marks an
+// empty node.
+type engineNode struct {
+	mass                   float64
+	minX, minY, maxX, maxY float64
+}
+
+// EngineScratch holds the reusable per-goroutine buffers of MarginSlot, so
+// steady-state verification allocates nothing per slot.
+type EngineScratch struct {
+	// Gathered per-slot-member data (slot-local indexing).
+	px, py []float64 // sender coordinates
+	qx, qy []float64 // receiver coordinates
+	pw     []float64 // transmit powers
+	sig    []float64 // received signals P/l^α
+	lb, ub []float64 // certified margin interval per member
+
+	cellOf  []int32 // base-grid cell of each member's sender
+	starts  []int32 // CSR cell offsets into members
+	fill    []int32 // CSR fill cursors (build-time only)
+	members []int32 // member indices grouped by base cell
+
+	nodes    []engineNode // pyramid, level-major from the base grid up
+	levelOff []int        // node offset of each pyramid level
+	stack    []nodeRef    // descent stack
+
+	d0         int     // base-grid dimension (power of two)
+	invCS      float64 // 1 / cell size
+	gridOX     float64 // grid origin (sender bbox min corner)
+	gridOY     float64
+	haveCutoff bool
+}
+
+type nodeRef struct{ level, x, y int32 }
+
+// NewEngineScratch returns an empty scratch; buffers grow on demand and are
+// reused across MarginSlot calls.
+func NewEngineScratch() *EngineScratch { return &EngineScratch{} }
+
+// reserve sizes the per-member buffers for a slot of m links.
+func (sc *EngineScratch) reserve(m int) {
+	if cap(sc.px) < m {
+		sc.px = make([]float64, m)
+		sc.py = make([]float64, m)
+		sc.qx = make([]float64, m)
+		sc.qy = make([]float64, m)
+		sc.pw = make([]float64, m)
+		sc.sig = make([]float64, m)
+		sc.lb = make([]float64, m)
+		sc.ub = make([]float64, m)
+		sc.cellOf = make([]int32, m)
+		sc.members = make([]int32, m)
+	}
+	sc.px, sc.py = sc.px[:m], sc.py[:m]
+	sc.qx, sc.qy = sc.qx[:m], sc.qy[:m]
+	sc.pw, sc.sig = sc.pw[:m], sc.sig[:m]
+	sc.lb, sc.ub = sc.lb[:m], sc.ub[:m]
+	sc.cellOf = sc.cellOf[:m]
+	sc.members = sc.members[:m]
+}
+
+// MarginSlot returns the exact worst-case SINR margin (min over the slot's
+// links of SINR_i/β) of one slot, given global link indices and their
+// transmit powers (power[k] belongs to idx[k]). It matches
+// Params.Margin on the corresponding link/power slices up to floating-point
+// accumulation order (≲1e-12 relative), with identical error conditions.
+// st accumulates work counters; both sc and st are caller-owned.
+func (e *Engine) MarginSlot(idx []int, power []float64, sc *EngineScratch, st *EngineStats) (float64, error) {
+	m := len(idx)
+	if m != len(power) {
+		return 0, fmt.Errorf("sinr: %d links but %d powers", m, len(power))
+	}
+	if m == 0 {
+		return math.Inf(1), nil
+	}
+	sc.reserve(m)
+	for k, g := range idx {
+		if power[k] <= 0 {
+			return 0, fmt.Errorf("sinr: non-positive power %g on link %d", power[k], k)
+		}
+		if g < 0 || g >= len(e.links) {
+			return 0, fmt.Errorf("sinr: link index %d outside the engine's %d links", g, len(e.links))
+		}
+		l := e.links[g]
+		sc.px[k], sc.py[k] = l.S.X, l.S.Y
+		sc.qx[k], sc.qy[k] = l.R.X, l.R.Y
+		sc.pw[k] = power[k]
+		sc.sig[k] = power[k] / e.lenA[g]
+	}
+	st.Links += int64(m)
+	st.NaivePairs += int64(m) * int64(m-1)
+	if m <= engineExactCutoff || !e.buildGrid(sc, m) {
+		return e.exactAll(sc, m, st), nil
+	}
+
+	// Interval pass: a certified [lb, ub] margin interval per link.
+	for k := 0; k < m; k++ {
+		e.interval(sc, k, st)
+	}
+	// Only links whose interval reaches below the smallest upper bound can
+	// attain the slot minimum; resolve exactly those with the exact sum.
+	u := math.Inf(1)
+	for k := 0; k < m; k++ {
+		if sc.ub[k] < u {
+			u = sc.ub[k]
+		}
+	}
+	worst := math.Inf(1)
+	resolved := false
+	for k := 0; k < m; k++ {
+		if sc.lb[k] > u {
+			continue
+		}
+		st.ExactLinks++
+		st.ExactPairs += int64(m - 1)
+		resolved = true
+		if mg := e.exactOne(sc, m, k); mg < worst {
+			worst = mg
+		}
+	}
+	if !resolved {
+		// Defensive: interval arithmetic met a non-finite input the grid
+		// guards missed. The exact path is always well defined.
+		return e.exactAll(sc, m, st), nil
+	}
+	return worst, nil
+}
+
+// exactOne computes the exact margin of slot member k by the full pairwise
+// sum, in slot order like the naive path.
+func (e *Engine) exactOne(sc *EngineScratch, m, k int) float64 {
+	intf := e.p.Noise
+	qxk, qyk := sc.qx[k], sc.qy[k]
+	for j := 0; j < m; j++ {
+		if j == k {
+			continue
+		}
+		dx := sc.px[j] - qxk
+		dy := sc.py[j] - qyk
+		intf += sc.pw[j] / e.powD2(dx*dx+dy*dy)
+	}
+	if intf == 0 {
+		return math.Inf(1)
+	}
+	return sc.sig[k] / (e.p.Beta * intf)
+}
+
+// exactAll is the small-slot/degenerate path: exact margins for every link.
+func (e *Engine) exactAll(sc *EngineScratch, m int, st *EngineStats) float64 {
+	st.ExactLinks += int64(m)
+	st.ExactPairs += int64(m) * int64(m-1)
+	worst := math.Inf(1)
+	for k := 0; k < m; k++ {
+		if mg := e.exactOne(sc, m, k); mg < worst {
+			worst = mg
+		}
+	}
+	return worst
+}
+
+// gridDim returns the base-grid dimension for a slot of m senders: the
+// smallest power of two whose square is at least m/4 (≈4 senders per cell on
+// uniform inputs), clamped to [4, engineMaxGridDim].
+func gridDim(m int) int {
+	d := 4
+	for d < engineMaxGridDim && d*d*4 < m {
+		d <<= 1
+	}
+	return d
+}
+
+// buildGrid buckets the slot's senders into the base grid and builds the
+// pyramid bottom-up. It reports false when the sender extent is degenerate
+// or non-finite, in which case the caller falls back to the exact path.
+func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for k := 0; k < m; k++ {
+		minX = math.Min(minX, sc.px[k])
+		maxX = math.Max(maxX, sc.px[k])
+		minY = math.Min(minY, sc.py[k])
+		maxY = math.Max(maxY, sc.py[k])
+	}
+	ext := math.Max(maxX-minX, maxY-minY)
+	if !(ext > 0) || math.IsInf(ext, 1) {
+		return false
+	}
+	d0 := gridDim(m)
+	sc.d0 = d0
+	sc.invCS = float64(d0) / ext
+	sc.gridOX, sc.gridOY = minX, minY
+
+	// Pyramid layout: level 0 is the d0×d0 base; each higher level halves
+	// the dimension down to a single root node.
+	levels := 1
+	for d := d0; d > 1; d >>= 1 {
+		levels++
+	}
+	sc.levelOff = sc.levelOff[:0]
+	total := 0
+	for l, d := 0, d0; l < levels; l, d = l+1, d>>1 {
+		sc.levelOff = append(sc.levelOff, total)
+		total += d * d
+	}
+	if cap(sc.nodes) < total {
+		sc.nodes = make([]engineNode, total)
+	}
+	sc.nodes = sc.nodes[:total]
+	clear(sc.nodes)
+	if cap(sc.starts) < d0*d0+1 {
+		sc.starts = make([]int32, d0*d0+1)
+	}
+	sc.starts = sc.starts[:d0*d0+1]
+	clear(sc.starts)
+
+	// Base cells: power mass, exact sender bounding boxes, CSR membership.
+	for k := 0; k < m; k++ {
+		cx := cellCoord(sc.px[k]-minX, sc.invCS, d0)
+		cy := cellCoord(sc.py[k]-minY, sc.invCS, d0)
+		sc.cellOf[k] = int32(cy*d0 + cx)
+		n := &sc.nodes[cy*d0+cx]
+		if n.mass == 0 {
+			n.minX, n.maxX = sc.px[k], sc.px[k]
+			n.minY, n.maxY = sc.py[k], sc.py[k]
+		} else {
+			n.minX = math.Min(n.minX, sc.px[k])
+			n.maxX = math.Max(n.maxX, sc.px[k])
+			n.minY = math.Min(n.minY, sc.py[k])
+			n.maxY = math.Max(n.maxY, sc.py[k])
+		}
+		n.mass += sc.pw[k]
+		sc.starts[sc.cellOf[k]+1]++
+	}
+	for c := 0; c < d0*d0; c++ {
+		sc.starts[c+1] += sc.starts[c]
+	}
+	if cap(sc.fill) < d0*d0 {
+		sc.fill = make([]int32, d0*d0)
+	}
+	sc.fill = sc.fill[:d0*d0]
+	copy(sc.fill, sc.starts[:d0*d0])
+	for k := 0; k < m; k++ {
+		c := sc.cellOf[k]
+		sc.members[sc.fill[c]] = int32(k)
+		sc.fill[c]++
+	}
+
+	// Upper levels: union of the four children.
+	for l, d := 1, d0>>1; d >= 1; l, d = l+1, d>>1 {
+		off, coff := sc.levelOff[l], sc.levelOff[l-1]
+		cd := d << 1
+		for y := 0; y < d; y++ {
+			for x := 0; x < d; x++ {
+				n := &sc.nodes[off+y*d+x]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						ch := &sc.nodes[coff+(2*y+dy)*cd+(2*x+dx)]
+						if ch.mass == 0 {
+							continue
+						}
+						if n.mass == 0 {
+							*n = *ch
+						} else {
+							n.minX = math.Min(n.minX, ch.minX)
+							n.maxX = math.Max(n.maxX, ch.maxX)
+							n.minY = math.Min(n.minY, ch.minY)
+							n.maxY = math.Max(n.maxY, ch.maxY)
+							n.mass += ch.mass
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// cellCoord maps an offset from the grid origin to a clamped cell
+// coordinate. The clamp keeps the bbox-max sender (offset·invCS == d0) and
+// any rounding stragglers inside the grid.
+func cellCoord(off, invCS float64, d0 int) int {
+	c := int(off * invCS)
+	if c < 0 {
+		return 0
+	}
+	if c >= d0 {
+		return d0 - 1
+	}
+	return c
+}
+
+// interval computes the certified margin interval of slot member k by a
+// Barnes–Hut-style descent of the pyramid: far nodes contribute aggregated
+// power-mass bounds, near base cells are summed exactly, and the member's
+// own sender is excluded wherever it lands (by identity in exact cells, by
+// mass subtraction in aggregated nodes).
+func (e *Engine) interval(sc *EngineScratch, k int, st *EngineStats) {
+	d0 := sc.d0
+	top := len(sc.levelOff) - 1
+	selfCX := int32(int(sc.cellOf[k]) % d0)
+	selfCY := int32(int(sc.cellOf[k]) / d0)
+	qxk, qyk := sc.qx[k], sc.qy[k]
+
+	var exact, lo, hi float64
+	sc.stack = append(sc.stack[:0], nodeRef{int32(top), 0, 0})
+	for len(sc.stack) > 0 {
+		nr := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		l := int(nr.level)
+		dim := d0 >> l
+		n := &sc.nodes[sc.levelOff[l]+int(nr.y)*dim+int(nr.x)]
+		if n.mass == 0 {
+			continue
+		}
+		mass := n.mass
+		if selfCX>>nr.level == nr.x && selfCY>>nr.level == nr.y {
+			mass -= sc.pw[k]
+		}
+		// Squared distances from the receiver to the node's sender bbox:
+		// nearest point of the box, and farthest corner.
+		var dx, dy float64
+		if qxk < n.minX {
+			dx = n.minX - qxk
+		} else if qxk > n.maxX {
+			dx = qxk - n.maxX
+		}
+		if qyk < n.minY {
+			dy = n.minY - qyk
+		} else if qyk > n.maxY {
+			dy = qyk - n.maxY
+		}
+		mind2 := dx*dx + dy*dy
+		fx := math.Max(qxk-n.minX, n.maxX-qxk)
+		fy := math.Max(qyk-n.minY, n.maxY-qyk)
+		maxd2 := fx*fx + fy*fy
+		if mind2 > 0 && maxd2 <= engineTheta2*mind2 {
+			if mass > 0 {
+				st.FarNodes++
+				lo += mass / e.powD2(maxd2)
+				hi += mass / e.powD2(mind2)
+			}
+			continue
+		}
+		if l == 0 {
+			c := int(nr.y)*d0 + int(nr.x)
+			for _, j := range sc.members[sc.starts[c]:sc.starts[c+1]] {
+				if int(j) == k {
+					continue
+				}
+				ddx := sc.px[j] - qxk
+				ddy := sc.py[j] - qyk
+				exact += sc.pw[j] / e.powD2(ddx*ddx+ddy*ddy)
+				st.NearPairs++
+			}
+			continue
+		}
+		cx, cy := nr.x<<1, nr.y<<1
+		sc.stack = append(sc.stack,
+			nodeRef{nr.level - 1, cx, cy},
+			nodeRef{nr.level - 1, cx + 1, cy},
+			nodeRef{nr.level - 1, cx, cy + 1},
+			nodeRef{nr.level - 1, cx + 1, cy + 1})
+	}
+
+	iLo := exact + lo + e.p.Noise
+	iHi := exact + hi + e.p.Noise
+	sig := sc.sig[k]
+	if iHi == 0 {
+		sc.lb[k], sc.ub[k] = math.Inf(1), math.Inf(1)
+		return
+	}
+	sc.lb[k] = sig / (e.p.Beta * iHi) * (1 - intervalPad)
+	if iLo == 0 {
+		sc.ub[k] = math.Inf(1)
+	} else {
+		sc.ub[k] = sig / (e.p.Beta * iLo) * (1 + intervalPad)
+	}
+}
