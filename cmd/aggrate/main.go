@@ -9,16 +9,21 @@
 //	aggrate compare — run every scheduling strategy on identical instances
 //	                  and print a per-strategy comparison table
 //	aggrate bench   — time the conflict-graph build (bucketed vs naive) and
-//	                  the full pipeline per strategy across instance sizes,
-//	                  emit BENCH_pipeline.json
+//	                  the full pipeline per strategy across instance sizes
+//	                  and GOMAXPROCS settings, emit BENCH_pipeline.json
+//
+// run and bench accept --cpuprofile/--memprofile to write pprof profiles of
+// the exercised pipeline.
 //
 // Examples:
 //
 //	aggrate run --scenario uniform --n 50000 --seeds 4
 //	aggrate run --scenario cluster,annulus --n 1000,4000 --seeds 8 --power mean,global --format csv
 //	aggrate run --scenario uniform --n 10000 --algo greedy,lengthclass --seeds 4
+//	aggrate run --scenario uniform --n 20000 --cpuprofile cpu.pprof --memprofile mem.pprof
 //	aggrate compare --scenario uniform --n 5000 --seeds 3
 //	aggrate bench --sizes 1000,5000,10000,20000 --out BENCH_pipeline.json
+//	aggrate bench --sizes 20000,100000,200000 --procs 1,0 --out BENCH_pipeline.json
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strconv"
 	"strings"
@@ -104,6 +110,59 @@ func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	return fs
+}
+
+// profileFlags registers the pprof flags shared by run and bench; start
+// begins the requested profiles and returns the function that stops the CPU
+// profile and writes the heap profile. Both paths are optional and
+// independent.
+type profileFlags struct {
+	cpu, mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) *profileFlags {
+	return &profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+func (pf *profileFlags) start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *pf.cpu != "" {
+		cpuFile, err = os.Create(*pf.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("--cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("--cpuprofile: %w", err)
+		}
+	}
+	memPath := *pf.mem
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("--memprofile: %w", err)
+			}
+			runtime.GC() // materialize the steady-state heap before snapshotting
+			werr := pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("--memprofile: %w", werr)
+			}
+		}
+		return nil
+	}, nil
 }
 
 var validPowers = []string{
@@ -197,6 +256,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	format := fs.String("format", "json", "output format: json or csv")
 	out := fs.String("out", "-", "output path ('-' = stdout)")
 	summaryOnly := fs.Bool("summary-only", false, "emit only the aggregated summaries (json)")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -219,6 +279,15 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	if err := validateChoices("algo", algoList, scheduler.Names()); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(stderr, "aggrate: profile: %v\n", perr)
+		}
+	}()
 
 	base.Refine = *refine
 	specs := experiment.Expand(scList, nList, *sf.seeds, powerList, algoList, base)
@@ -274,7 +343,8 @@ func writeCSV(w io.Writer, results []*experiment.Result) error {
 		"scenario", "n", "seed", "power", "graph", "algo", "links", "diversity",
 		"logstar", "edges", "max_degree", "colors", "schedule_length",
 		"rate", "colors_per_logstar", "length_classes", "gamma_used",
-		"gamma_retries", "margin", "verified", "refine_sets", "total_sec", "error",
+		"gamma_retries", "margin", "verified", "refine_sets", "build_sec",
+		"order_sec", "color_sec", "verify_sec", "total_sec", "error",
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -290,7 +360,8 @@ func writeCSV(w io.Writer, results []*experiment.Result) error {
 			strconv.Itoa(r.Classes),
 			f(r.GammaUsed), strconv.Itoa(r.GammaRetries), f(r.Margin),
 			strconv.FormatBool(r.Verified), strconv.Itoa(r.RefineSets),
-			f(r.Timings.TotalSec), r.Err,
+			f(r.Timings.BuildSec), f(r.Timings.OrderSec), f(r.Timings.ColorSec),
+			f(r.Timings.VerifySec), f(r.Timings.TotalSec), r.Err,
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -400,12 +471,13 @@ func writeCompareTable(w io.Writer, summaries []experiment.Summary) {
 
 // AlgoBench is the per-strategy slice of one bench entry: the full pipeline
 // (schedule + verification with γ escalation) timed per algorithm on the
-// same instance, plus the verification-engine split. VerifySec and
-// ExactPairsFrac time the selected engine re-verifying the final schedule;
-// when the naive reference also ran (n ≤ --naive-max, fast engine
-// selected), VerifyNaiveSec/VerifySpeedup/VerifyMatch record the
-// cross-check — VerifyMatch means identical verdict and margins within
-// 1e-9 relative.
+// same instance, plus the per-stage split (conflict-graph build, vertex
+// ordering, coloring — summed over γ escalations) and the
+// verification-engine split. VerifySec and ExactPairsFrac time the selected
+// engine re-verifying the final schedule; when the naive reference also ran
+// (n ≤ --naive-max, fast engine selected),
+// VerifyNaiveSec/VerifySpeedup/VerifyMatch record the cross-check —
+// VerifyMatch means identical verdict and margins within 1e-9 relative.
 type AlgoBench struct {
 	Algo             string  `json:"algo"`
 	Colors           int     `json:"colors"`
@@ -413,6 +485,9 @@ type AlgoBench struct {
 	Rate             float64 `json:"rate"`
 	ColorsPerLogStar float64 `json:"colors_per_logstar"`
 	PipelineSec      float64 `json:"pipeline_sec"`
+	BuildSec         float64 `json:"build_sec"`
+	OrderSec         float64 `json:"order_sec"`
+	ColorSec         float64 `json:"color_sec"`
 	GammaRetries     int     `json:"gamma_retries"`
 	Verified         bool    `json:"verified"`
 	VerifySec        float64 `json:"verify_sec"`
@@ -442,12 +517,19 @@ type BenchEntry struct {
 	Algos        []AlgoBench `json:"algos"`
 }
 
-// BenchReport is the schema of BENCH_pipeline.json.
-type BenchReport struct {
-	Scenario   string       `json:"scenario"`
-	Seed       uint64       `json:"seed"`
+// BenchRun is one full sweep of the sizes at a fixed GOMAXPROCS.
+type BenchRun struct {
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Entries    []BenchEntry `json:"entries"`
+}
+
+// BenchReport is the schema of BENCH_pipeline.json: one run per requested
+// --procs value, so sequential and all-core trajectories of the same sizes
+// sit side by side in one artifact.
+type BenchReport struct {
+	Scenario string     `json:"scenario"`
+	Seed     uint64     `json:"seed"`
+	Runs     []BenchRun `json:"runs"`
 }
 
 func cmdBench(args []string, stdout, stderr io.Writer) error {
@@ -458,7 +540,9 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	preset := fs.String("scenario", "uniform", "scenario preset to benchmark on")
 	algos := fs.String("algo", strings.Join(scheduler.Names(), ","), "comma-separated algorithms to time the pipeline with")
 	engine := fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)")
+	procs := fs.String("procs", "0", "comma-separated GOMAXPROCS values to sweep (0 = NumCPU); one bench run each")
 	out := fs.String("out", "BENCH_pipeline.json", "output path ('-' = stdout)")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -469,6 +553,10 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad --sizes: %w", err)
 	}
+	procList, err := parseInts(*procs)
+	if err != nil {
+		return fmt.Errorf("bad --procs: %w", err)
+	}
 	sc, err := scenario.Lookup(*preset)
 	if err != nil {
 		return err
@@ -477,16 +565,56 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	if err := validateChoices("algo", algoList, scheduler.Names()); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintf(stderr, "aggrate: profile: %v\n", perr)
+		}
+	}()
 
-	report := BenchReport{Scenario: *preset, Seed: *seed, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	report := BenchReport{Scenario: *preset, Seed: *seed}
+	for _, p := range procList {
+		run, err := benchRun(sc, nList, algoList, p, *naiveMax, *seed, *engine, stderr)
+		if err != nil {
+			return err
+		}
+		report.Runs = append(report.Runs, run)
+	}
+
+	w, closeFn, err := openOut(*out, stdout)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(report)
+	if cerr := closeFn(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// benchRun sweeps the sizes once at the given GOMAXPROCS (0 = leave at
+// NumCPU), restoring the previous setting before returning.
+func benchRun(sc scenario.Spec, nList []int, algoList []string,
+	procsWanted, naiveMax int, seed uint64, engine string, stderr io.Writer) (BenchRun, error) {
+	if procsWanted > 0 {
+		prev := runtime.GOMAXPROCS(procsWanted)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	run := BenchRun{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	fmt.Fprintf(stderr, "aggrate bench: gomaxprocs=%d\n", run.GoMaxProcs)
 	for _, n := range nList {
 		entry := BenchEntry{N: n}
-		pts := sc.Generate(n, *seed)
+		pts := sc.Generate(n, seed)
 
 		t0 := time.Now()
 		tree, err := mst.NewMSTTree(pts, 0)
 		if err != nil {
-			return err
+			return run, err
 		}
 		entry.MSTSec = time.Since(t0).Seconds()
 		links := tree.Links
@@ -498,7 +626,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		entry.BuildSec = time.Since(t0).Seconds()
 		entry.Edges = g.Edges()
 
-		if n <= *naiveMax {
+		if n <= naiveMax {
 			t0 = time.Now()
 			ng := conflict.BuildNaive(links, f)
 			entry.NaiveSec = time.Since(t0).Seconds()
@@ -511,14 +639,14 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 
 		// Per-strategy pipeline trajectory on the same instance.
 		for _, algo := range algoList {
-			spec := experiment.NewSpec(sc, n, *seed)
+			spec := experiment.NewSpec(sc, n, seed)
 			spec.Algo = algo
-			spec.VerifyEngine = *engine
+			spec.VerifyEngine = engine
 			t0 = time.Now()
 			inst, res, err := experiment.NewInstance(spec)
 			sec := time.Since(t0).Seconds()
 			if err != nil {
-				return fmt.Errorf("bench pipeline algo=%s n=%d: %w", algo, n, err)
+				return run, fmt.Errorf("bench pipeline algo=%s n=%d: %w", algo, n, err)
 			}
 			ab := AlgoBench{
 				Algo:             algo,
@@ -527,6 +655,9 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 				Rate:             res.Rate,
 				ColorsPerLogStar: res.ColorsPerLogStar,
 				PipelineSec:      sec,
+				BuildSec:         res.Timings.BuildSec,
+				OrderSec:         res.Timings.OrderSec,
+				ColorSec:         res.Timings.ColorSec,
 				GammaRetries:     res.GammaRetries,
 				Verified:         res.Verified,
 			}
@@ -535,13 +666,13 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 			// and cross-check it against the naive oracle at sizes where the
 			// O(m²) path is affordable.
 			t0 = time.Now()
-			margin, vst, verr := inst.VerifySchedule(*engine)
+			margin, vst, verr := inst.VerifySchedule(engine)
 			ab.VerifySec = time.Since(t0).Seconds()
 			if verr != nil {
-				return fmt.Errorf("bench re-verify algo=%s n=%d: %w", algo, n, verr)
+				return run, fmt.Errorf("bench re-verify algo=%s n=%d: %w", algo, n, verr)
 			}
 			ab.ExactPairsFrac = vst.Engine.ExactPairsFrac()
-			if *engine == schedule.EngineFast && n <= *naiveMax {
+			if engine == schedule.EngineFast && n <= naiveMax {
 				t0 = time.Now()
 				nm, _, nerr := inst.VerifySchedule(schedule.EngineNaive)
 				ab.VerifyNaiveSec = time.Since(t0).Seconds()
@@ -558,26 +689,15 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 				entry.Verified = res.Verified
 			}
 			fmt.Fprintf(stderr,
-				"aggrate bench: n=%-6d algo=%-11s colors=%-5d rate=%.5f c/log*=%.2f pipeline=%.3fs verify=%.3fs exact=%.3f\n",
-				n, algo, ab.Colors, ab.Rate, ab.ColorsPerLogStar, sec, ab.VerifySec, ab.ExactPairsFrac)
+				"aggrate bench: n=%-6d algo=%-11s colors=%-5d rate=%.5f c/log*=%.2f pipeline=%.3fs color=%.3fs verify=%.3fs exact=%.3f\n",
+				n, algo, ab.Colors, ab.Rate, ab.ColorsPerLogStar, sec, ab.OrderSec+ab.ColorSec, ab.VerifySec, ab.ExactPairsFrac)
 		}
-		report.Entries = append(report.Entries, entry)
+		run.Entries = append(run.Entries, entry)
 		fmt.Fprintf(stderr,
 			"aggrate bench: n=%-6d links=%-6d edges=%-7d build=%.3fs naive=%.3fs\n",
 			n, entry.Links, entry.Edges, entry.BuildSec, entry.NaiveSec)
 	}
-
-	w, closeFn, err := openOut(*out, stdout)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	werr := enc.Encode(report)
-	if cerr := closeFn(); werr == nil {
-		werr = cerr
-	}
-	return werr
+	return run, nil
 }
 
 func parseScenarios(s string) ([]experiment.Scenario, error) {
@@ -631,18 +751,10 @@ func marginsClose(a, b float64) bool {
 }
 
 // sameEdgeSet reports whether two conflict graphs over the same link set
-// have identical edges, by full adjacency comparison (both builds emit
-// sorted adjacency, so slice equality is edge-set equality).
+// have identical edges, by full CSR comparison (both builds emit sorted
+// rows, so RowPtr+Neighbors equality is edge-set equality).
 func sameEdgeSet(a, b *conflict.Graph) bool {
-	if a.Edges() != b.Edges() || len(a.Adj) != len(b.Adj) {
-		return false
-	}
-	for i := range a.Adj {
-		if !slices.Equal(a.Adj[i], b.Adj[i]) {
-			return false
-		}
-	}
-	return true
+	return slices.Equal(a.RowPtr, b.RowPtr) && slices.Equal(a.Neighbors, b.Neighbors)
 }
 
 // openOut returns the output writer and a close function whose error must

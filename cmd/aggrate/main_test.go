@@ -10,6 +10,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"aggrate/internal/scheduler"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
@@ -26,7 +28,8 @@ func runCLI(args ...string) (stdout, stderr string, code int) {
 // function of the seed.
 var timingKeys = map[string]bool{
 	"generate_sec": true, "mst_sec": true, "build_sec": true,
-	"color_sec": true, "refine_sec": true, "verify_sec": true,
+	"order_sec": true, "color_sec": true, "refine_sec": true,
+	"verify_sec": true,
 	"power_solve_sec": true, "verify_naive_sec": true, "verify_speedup": true,
 	"total_sec": true, "mean_total_sec": true, "pipeline_sec": true,
 	"naive_sec": true, "speedup": true, "gomaxprocs": true,
@@ -69,7 +72,7 @@ func scrub(v any) any {
 	}
 }
 
-// normalizeCSV zeroes the total_sec column.
+// normalizeCSV zeroes the wall-clock stage columns.
 func normalizeCSV(t *testing.T, data string) string {
 	t.Helper()
 	rows, err := csv.NewReader(strings.NewReader(data)).ReadAll()
@@ -79,20 +82,27 @@ func normalizeCSV(t *testing.T, data string) string {
 	if len(rows) == 0 {
 		t.Fatal("empty CSV output")
 	}
-	col := -1
+	timingCols := map[string]bool{
+		"build_sec": true, "order_sec": true, "color_sec": true,
+		"verify_sec": true, "total_sec": true,
+	}
+	var cols []int
 	for i, name := range rows[0] {
-		if name == "total_sec" {
-			col = i
+		if timingCols[name] {
+			cols = append(cols, i)
 		}
 	}
-	if col < 0 {
-		t.Fatalf("CSV header has no total_sec column: %v", rows[0])
+	if len(cols) != len(timingCols) {
+		t.Fatalf("CSV header is missing timing columns (found %d of %d): %v",
+			len(cols), len(timingCols), rows[0])
 	}
 	var buf bytes.Buffer
 	cw := csv.NewWriter(&buf)
 	for r, row := range rows {
 		if r > 0 {
-			row[col] = "0"
+			for _, c := range cols {
+				row[c] = "0"
+			}
 		}
 		if err := cw.Write(row); err != nil {
 			t.Fatal(err)
@@ -175,7 +185,7 @@ func TestBenchJSONGolden(t *testing.T) {
 }
 
 // TestCompareTableGolden pins the human-readable compare table across all
-// four strategies.
+// registered strategies.
 func TestCompareTableGolden(t *testing.T) {
 	stdout, _, code := runCLI("compare", "--scenario", "uniform", "--n", "80",
 		"--seeds", "2", "--seed", "9")
@@ -206,9 +216,9 @@ func TestCompareJSONOut(t *testing.T) {
 	if err := json.Unmarshal(data, &payload); err != nil {
 		t.Fatalf("compare --out payload not JSON: %v", err)
 	}
-	if len(payload.Summaries) != 4 || len(payload.Results) != 4 {
-		t.Fatalf("compare payload has %d summaries / %d results, want 4/4",
-			len(payload.Summaries), len(payload.Results))
+	if want := len(scheduler.Names()); len(payload.Summaries) != want || len(payload.Results) != want {
+		t.Fatalf("compare payload has %d summaries / %d results, want %d/%d",
+			len(payload.Summaries), len(payload.Results), want, want)
 	}
 }
 
@@ -233,6 +243,7 @@ func TestFlagValidation(t *testing.T) {
 		{"compare bad graph", []string{"compare", "--graph", "bogus"}, `unknown --graph "bogus"`},
 		{"compare bad power", []string{"compare", "--power", "bogus"}, `unknown --power "bogus"`},
 		{"bench bad algo", []string{"bench", "--algo", "bogus"}, `unknown --algo "bogus"`},
+		{"bench bad procs", []string{"bench", "--procs", "abc"}, "bad --procs"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -244,6 +255,31 @@ func TestFlagValidation(t *testing.T) {
 				t.Fatalf("stderr %q does not contain %q", stderr, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestProfilingFlags: --cpuprofile/--memprofile write non-empty pprof files
+// on both run and bench.
+func TestProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if _, stderr, code := runCLI("run", "--scenario", "uniform", "--n", "60",
+		"--cpuprofile", cpu, "--memprofile", mem); code != 0 {
+		t.Fatalf("run with profiles exited %d: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+	benchCPU := filepath.Join(dir, "bench_cpu.pprof")
+	if _, stderr, code := runCLI("bench", "--sizes", "80", "--algo", "greedy",
+		"--cpuprofile", benchCPU, "--out", filepath.Join(dir, "bench.json")); code != 0 {
+		t.Fatalf("bench with profile exited %d: %s", code, stderr)
+	}
+	if st, err := os.Stat(benchCPU); err != nil || st.Size() == 0 {
+		t.Fatalf("bench profile missing or empty (err=%v)", err)
 	}
 }
 

@@ -1,43 +1,92 @@
 // Package coloring provides the scheduling algorithms of Sec. 3: the greedy
 // first-fit coloring of conflict graphs (a constant-factor approximation
 // because the graphs have constant inductive independence, Appendix A), a
-// DSATUR baseline, and the first-fit refinement of Theorem 2 that splits an
-// MST's links into a constant number of sets S with I(i, S⁺ᵢ) < 1.
+// DSATUR baseline, a parallel Jones–Plassmann coloring, and the first-fit
+// refinement of Theorem 2 that splits an MST's links into a constant number
+// of sets S with I(i, S⁺ᵢ) < 1.
+//
+// All colorings walk the conflict graph's CSR rows. The Workspace variants
+// are the production hot path: every scratch buffer is owned by the
+// Workspace and reused across calls, so steady-state coloring performs zero
+// allocations per vertex (see the AllocsPerRun guards in the tests). The
+// package-level functions allocate a fresh Workspace per call and remain
+// the convenient entry points.
 package coloring
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"aggrate/internal/conflict"
 	"aggrate/internal/geom"
+	"aggrate/internal/par"
 	"aggrate/internal/sinr"
 )
 
+// Workspace owns the reusable scratch buffers of the coloring algorithms.
+// A Workspace is not safe for concurrent use; create one per goroutine.
+// Buffers grow on demand and persist across calls, so repeated colorings of
+// same-sized graphs allocate nothing.
+type Workspace struct {
+	usedBy []int32 // usedBy[c] = stamp of the last vertex that saw color c among its neighbors
+	order  []int   // vertex order buffer (LengthOrder / IndexOrder)
+	keys   []float64
+	sorter lengthSorter
+
+	// DSATUR state.
+	sat     []int32
+	heap    []satEntry
+	satBits []uint64 // per-vertex neighbor-color bitsets, flat with a per-graph stride
+
+	// Jones–Plassmann state.
+	prio   []uint64
+	wait   []int32
+	active []int32
+	winner []int32
+}
+
+// NewWorkspace returns an empty Workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
 // FirstFit colors the conflict graph by first-fit along the given vertex
 // order: each vertex gets the smallest color not used by an already-colored
-// neighbor. order must be a permutation of [0, g.N()). It returns one color
-// per vertex, colors numbered from 0, and the number of colors used.
-func FirstFit(g *conflict.Graph, order []int) ([]int, int) {
+// neighbor. order must be a permutation of [0, g.N()). colors must have
+// length g.N(); it is overwritten with one color per vertex, colors
+// numbered from 0. Returns the number of colors used.
+//
+// The inner loop is allocation-free: "color c seen among v's neighbors" is
+// tracked by stamping usedBy[c] with v's position in the order, so there is
+// no per-vertex clearing and no map.
+func (ws *Workspace) FirstFit(g *conflict.Graph, order []int, colors []int) int {
 	n := g.N()
-	colors := make([]int, n)
 	for i := range colors {
 		colors[i] = -1
 	}
+	ws.usedBy = grow(ws.usedBy, n+1)
+	for i := range ws.usedBy {
+		ws.usedBy[i] = -1
+	}
+	usedBy := ws.usedBy
+	rowPtr, nbr := g.RowPtr, g.Neighbors
 	numColors := 0
-	used := make([]bool, n+1) // color c "used by a neighbor" scratch space
-	for _, v := range order {
-		for c := 0; c <= numColors; c++ {
-			used[c] = false
-		}
-		for _, w := range g.Adj[v] {
+	for t, v := range order {
+		for _, w := range nbr[rowPtr[v]:rowPtr[v+1]] {
 			if c := colors[w]; c >= 0 {
-				used[c] = true
+				usedBy[c] = int32(t)
 			}
 		}
 		c := 0
-		for used[c] {
+		for usedBy[c] == int32(t) {
 			c++
 		}
 		colors[v] = c
@@ -45,7 +94,16 @@ func FirstFit(g *conflict.Graph, order []int) ([]int, int) {
 			numColors = c + 1
 		}
 	}
-	return colors, numColors
+	return numColors
+}
+
+// FirstFit is the allocating wrapper over (*Workspace).FirstFit; see there.
+// It returns one color per vertex, colors numbered from 0, and the number
+// of colors used.
+func FirstFit(g *conflict.Graph, order []int) ([]int, int) {
+	colors := make([]int, g.N())
+	k := NewWorkspace().FirstFit(g, order, colors)
+	return colors, k
 }
 
 // IndexOrder returns the identity order 0, 1, …, n-1: first-fit in input
@@ -58,18 +116,53 @@ func IndexOrder(n int) []int {
 	return order
 }
 
-// ByLengthOrder returns the vertex order GreedyByLength processes: links in
-// non-increasing length, ties by index.
+// lengthSorter sorts a vertex order by precomputed length keys,
+// non-increasing, ties by index ascending — a total order, so sort.Sort
+// yields the same permutation a stable sort would.
+type lengthSorter struct {
+	order []int
+	keys  []float64
+}
+
+func (s *lengthSorter) Len() int { return len(s.order) }
+func (s *lengthSorter) Less(a, b int) bool {
+	va, vb := s.order[a], s.order[b]
+	ka, kb := s.keys[va], s.keys[vb]
+	if ka != kb {
+		return ka > kb // longest first
+	}
+	return va < vb
+}
+func (s *lengthSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
+// LengthOrder returns the vertex order GreedyByLength processes: links in
+// non-increasing length, ties by index. Lengths are computed once per
+// vertex into a reused key buffer (not once per comparison), and the
+// returned slice aliases the Workspace; callers must copy it to keep it
+// across calls.
+func (ws *Workspace) LengthOrder(g *conflict.Graph) []int {
+	n := g.N()
+	ws.order = grow(ws.order, n)
+	ws.keys = grow(ws.keys, n)
+	for i := 0; i < n; i++ {
+		ws.order[i] = i
+		ws.keys[i] = g.Links[i].Length()
+	}
+	ws.sorter.order, ws.sorter.keys = ws.order, ws.keys
+	sort.Sort(&ws.sorter)
+	return ws.order
+}
+
+// ByLengthOrder is the allocating wrapper over (*Workspace).LengthOrder.
 func ByLengthOrder(g *conflict.Graph) []int {
-	order := IndexOrder(g.N())
-	sort.SliceStable(order, func(a, b int) bool {
-		la, lb := g.Links[order[a]].Length(), g.Links[order[b]].Length()
-		if la != lb {
-			return la > lb // longest first
-		}
-		return order[a] < order[b]
-	})
-	return order
+	return append([]int(nil), NewWorkspace().LengthOrder(g)...)
+}
+
+// GreedyByLength colors the conflict graph by first-fit, processing links
+// in non-increasing order of length (App. A / Ye–Borodin elimination
+// orders). colors must have length g.N(); returns the number of colors.
+func (ws *Workspace) GreedyByLength(g *conflict.Graph, colors []int) int {
+	return ws.FirstFit(g, ws.LengthOrder(g), colors)
 }
 
 // GreedyByLength colors the conflict graph by first-fit, processing links in
@@ -78,7 +171,9 @@ func ByLengthOrder(g *conflict.Graph) []int {
 // It returns one color per vertex, colors numbered from 0, and the number of
 // colors used.
 func GreedyByLength(g *conflict.Graph) ([]int, int) {
-	return FirstFit(g, ByLengthOrder(g))
+	colors := make([]int, g.N())
+	k := NewWorkspace().GreedyByLength(g, colors)
+	return colors, k
 }
 
 // satEntry is a (possibly stale) priority-queue entry of the DSATUR loop.
@@ -87,61 +182,104 @@ type satEntry struct {
 	sat, deg int32
 }
 
-type satHeap []satEntry
-
-func (h satHeap) Len() int { return len(h) }
-func (h satHeap) Less(a, b int) bool {
-	if h[a].sat != h[b].sat {
-		return h[a].sat > h[b].sat
+// satLess is the DSATUR priority: saturation desc, degree desc, index asc.
+func satLess(a, b satEntry) bool {
+	if a.sat != b.sat {
+		return a.sat > b.sat
 	}
-	if h[a].deg != h[b].deg {
-		return h[a].deg > h[b].deg
+	if a.deg != b.deg {
+		return a.deg > b.deg
 	}
-	return h[a].v < h[b].v
+	return a.v < b.v
 }
-func (h satHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
-func (h *satHeap) Push(x any)   { *h = append(*h, x.(satEntry)) }
-func (h *satHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// satPush and satPop implement a plain binary heap over the Workspace's
+// entry slice — container/heap would box every satEntry through an
+// interface, allocating on each push.
+func satPush(h *[]satEntry, e satEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !satLess((*h)[i], (*h)[p]) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func satPop(h *[]satEntry) satEntry {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s) && satLess(s[l], s[m]) {
+			m = l
+		}
+		if r < len(s) && satLess(s[r], s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}
 
 // DSatur colors the conflict graph with the DSATUR heuristic (Brélaz 1979):
 // repeatedly color the uncolored vertex with the highest saturation degree
 // (number of distinct neighbor colors), breaking ties by degree then index,
 // assigning the smallest color absent from its neighborhood. A stronger
 // graph-coloring baseline than the length-order greedy, at O((V+E) log V)
-// via a lazy priority queue. Returns colors (0-based, dense) and the count.
-func DSatur(g *conflict.Graph) ([]int, int) {
+// via a lazy priority queue. colors must have length g.N(); returns the
+// color count. Neighbor-color sets are flat per-vertex bitsets (stride
+// ⌈(Δ+1)/64⌉ words) carved from one Workspace arena — no per-vertex maps.
+func (ws *Workspace) DSatur(g *conflict.Graph, colors []int) int {
 	n := g.N()
-	colors := make([]int, n)
 	for i := range colors {
 		colors[i] = -1
 	}
-	// neighborColors[v] tracks which colors appear in v's neighborhood;
-	// sat[v] is its cardinality — the saturation degree.
-	neighborColors := make([]map[int]struct{}, n)
-	sat := make([]int32, n)
-	h := make(satHeap, n)
-	for v := 0; v < n; v++ {
-		h[v] = satEntry{v: int32(v), sat: 0, deg: int32(len(g.Adj[v]))}
+	maxDeg := g.MaxDegree()
+	stride := (maxDeg + 1 + 63) / 64
+	if stride == 0 {
+		stride = 1
 	}
-	heap.Init(&h)
+	ws.satBits = grow(ws.satBits, n*stride)
+	clear(ws.satBits)
+	ws.sat = grow(ws.sat, n)
+	clear(ws.sat)
+	ws.usedBy = grow(ws.usedBy, n+1)
+	for i := range ws.usedBy {
+		ws.usedBy[i] = -1
+	}
+	ws.heap = ws.heap[:0]
+	rowPtr, nbr := g.RowPtr, g.Neighbors
+	for v := n - 1; v >= 0; v-- {
+		satPush(&ws.heap, satEntry{v: int32(v), sat: 0, deg: int32(g.Degree(v))})
+	}
 	numColors := 0
-	used := make([]bool, n+1)
 	for colored := 0; colored < n; {
-		e := heap.Pop(&h).(satEntry)
+		e := satPop(&ws.heap)
 		v := int(e.v)
-		if colors[v] >= 0 || e.sat != sat[v] {
+		if colors[v] >= 0 || e.sat != ws.sat[v] {
 			continue // stale entry: already colored or saturation moved on
 		}
-		for c := 0; c <= numColors; c++ {
-			used[c] = false
-		}
-		for _, w := range g.Adj[v] {
+		for _, w := range nbr[rowPtr[v]:rowPtr[v+1]] {
 			if c := colors[w]; c >= 0 {
-				used[c] = true
+				ws.usedBy[c] = e.v
 			}
 		}
 		c := 0
-		for used[c] {
+		for ws.usedBy[c] == e.v {
 			c++
 		}
 		colors[v] = c
@@ -149,22 +287,152 @@ func DSatur(g *conflict.Graph) ([]int, int) {
 		if c+1 > numColors {
 			numColors = c + 1
 		}
-		for _, w := range g.Adj[v] {
+		for _, w := range nbr[rowPtr[v]:rowPtr[v+1]] {
 			wi := int(w)
 			if colors[wi] >= 0 {
 				continue
 			}
-			if neighborColors[wi] == nil {
-				neighborColors[wi] = make(map[int]struct{})
-			}
-			if _, ok := neighborColors[wi][c]; !ok {
-				neighborColors[wi][c] = struct{}{}
-				sat[wi]++
-				heap.Push(&h, satEntry{v: w, sat: sat[wi], deg: int32(len(g.Adj[wi]))})
+			word := &ws.satBits[wi*stride+c/64]
+			if bit := uint64(1) << (c % 64); *word&bit == 0 {
+				*word |= bit
+				ws.sat[wi]++
+				satPush(&ws.heap, satEntry{v: w, sat: ws.sat[wi], deg: int32(g.Degree(wi))})
 			}
 		}
 	}
-	return colors, numColors
+	return numColors
+}
+
+// DSatur is the allocating wrapper over (*Workspace).DSatur. Returns colors
+// (0-based, dense) and the count.
+func DSatur(g *conflict.Graph) ([]int, int) {
+	colors := make([]int, g.N())
+	k := NewWorkspace().DSatur(g, colors)
+	return colors, k
+}
+
+// splitmix64 is the vertex-priority hash of JP: a fixed, high-quality
+// 64-bit mixer, so priorities are deterministic in (seed, vertex) with no
+// RNG state to share between goroutines.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jpHigher reports whether vertex a outranks vertex b under the JP random
+// priority, ties broken by index — a strict total order, so every edge has
+// exactly one higher endpoint.
+func jpHigher(prio []uint64, a, b int32) bool {
+	if prio[a] != prio[b] {
+		return prio[a] > prio[b]
+	}
+	return a > b
+}
+
+// JP colors the conflict graph with the Jones–Plassmann random-priority
+// parallel coloring: each vertex waits until every uncolored neighbor of
+// higher priority has been colored, then takes the smallest color absent
+// from its neighborhood. Rounds run in parallel over internal/par; the
+// result depends only on (graph, seed) — never on GOMAXPROCS or goroutine
+// scheduling — because the wait counts evolve identically under any
+// execution order. colors must have length g.N(); returns the color count.
+//
+// This is the shared-memory form of the distributed coloring the paper's
+// line of work builds on: each round colors an independent set (the local
+// priority maxima), and O(log n) rounds suffice with high probability.
+func (ws *Workspace) JP(g *conflict.Graph, seed uint64, colors []int) int {
+	n := g.N()
+	for i := range colors {
+		colors[i] = -1
+	}
+	ws.prio = grow(ws.prio, n)
+	ws.wait = grow(ws.wait, n)
+	ws.active = grow(ws.active, n)
+	ws.winner = ws.winner[:0]
+	prio, wait := ws.prio, ws.wait
+	rowPtr, nbr := g.RowPtr, g.Neighbors
+	// Two passes: every priority must exist before any wait count reads it.
+	par.For(n, func(v int) {
+		prio[v] = splitmix64(seed ^ uint64(v))
+	})
+	par.For(n, func(v int) {
+		w := int32(0)
+		for _, u := range nbr[rowPtr[v]:rowPtr[v+1]] {
+			if jpHigher(prio, u, int32(v)) {
+				w++
+			}
+		}
+		wait[v] = w
+		ws.active[v] = int32(v)
+	})
+
+	active := ws.active
+	numColors := 0
+	for len(active) > 0 {
+		// Winners: active vertices whose higher-priority neighbors are all
+		// colored. They form an independent set (of the uncolored subgraph),
+		// so coloring them is race-free: no winner reads another winner's
+		// color. Partition the frontier in place — winners to the front —
+		// then color the winner prefix in parallel.
+		ws.winner = ws.winner[:0]
+		rest := active[:0]
+		for _, v := range active {
+			if wait[v] == 0 {
+				ws.winner = append(ws.winner, v)
+			} else {
+				rest = append(rest, v)
+			}
+		}
+		winners := ws.winner
+		par.For(len(winners), func(k int) {
+			v := winners[k]
+			row := nbr[rowPtr[v]:rowPtr[v+1]]
+			// Smallest color absent from the colored neighborhood, via a
+			// 64-bit window sweep: count used colors per 64-block.
+			c := 0
+			for {
+				var mask uint64
+				for _, u := range row {
+					if cu := colors[u]; cu >= c && cu < c+64 {
+						mask |= uint64(1) << (cu - c)
+					}
+				}
+				if mask != ^uint64(0) {
+					c += bits.TrailingZeros64(^mask)
+					break
+				}
+				c += 64
+			}
+			colors[v] = c
+		})
+		// Release the lower-priority uncolored neighbors of each winner.
+		// Decrements are atomic: two winners may share an uncolored
+		// neighbor. The resulting counts are scheduling-independent.
+		par.For(len(winners), func(k int) {
+			v := winners[k]
+			for _, u := range nbr[rowPtr[v]:rowPtr[v+1]] {
+				if colors[u] < 0 && jpHigher(prio, v, u) {
+					atomic.AddInt32(&wait[u], -1)
+				}
+			}
+		})
+		for _, v := range winners {
+			if c := colors[v] + 1; c > numColors {
+				numColors = c
+			}
+		}
+		active = rest
+	}
+	return numColors
+}
+
+// JP is the allocating wrapper over (*Workspace).JP.
+func JP(g *conflict.Graph, seed uint64) ([]int, int) {
+	colors := make([]int, g.N())
+	k := NewWorkspace().JP(g, seed, colors)
+	return colors, k
 }
 
 // Verify checks that colors is a proper coloring of g: every vertex colored
@@ -177,7 +445,7 @@ func Verify(g *conflict.Graph, colors []int) error {
 		if c < 0 {
 			return fmt.Errorf("coloring: vertex %d uncolored", v)
 		}
-		for _, w := range g.Adj[v] {
+		for _, w := range g.Row(v) {
 			if colors[w] == c {
 				return fmt.Errorf("coloring: edge (%d,%d) monochromatic with color %d", v, w, c)
 			}

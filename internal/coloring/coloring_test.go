@@ -69,8 +69,8 @@ func TestVerifyCatchesBadColoring(t *testing.T) {
 	colors, _ := GreedyByLength(g)
 	// Find an edge and make it monochromatic.
 	for v := range colors {
-		if len(g.Adj[v]) > 0 {
-			colors[v] = colors[g.Adj[v][0]]
+		if row := g.Row(v); len(row) > 0 {
+			colors[v] = colors[row[0]]
 			break
 		}
 	}
@@ -158,13 +158,13 @@ func TestDSaturKnownGraphs(t *testing.T) {
 		// Unit-length links around a circle, conflicting iff adjacent on the
 		// cycle: build the graph directly via the naive constructor on a
 		// synthetic threshold is awkward, so assemble adjacency by hand.
-		g := &conflict.Graph{Links: make([]geom.Link, n), Adj: make([][]int32, n)}
+		adj := make([][]int32, n)
 		for i := 0; i < n; i++ {
 			j := (i + 1) % n
-			g.Adj[i] = append(g.Adj[i], int32(j))
-			g.Adj[j] = append(g.Adj[j], int32(i))
+			adj[i] = append(adj[i], int32(j))
+			adj[j] = append(adj[j], int32(i))
 		}
-		return g
+		return conflict.FromAdj(make([]geom.Link, n), conflict.Func{}, adj)
 	}
 	if _, k := DSatur(cycle(5)); k != 3 {
 		t.Fatalf("DSATUR on C5 used %d colors, want 3", k)

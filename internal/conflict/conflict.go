@@ -18,6 +18,11 @@
 //   - G^δ_γ   (f = γ·x^δ, δ∈(0,1)): independent sets are feasible under an
 //     oblivious scheme P_τ, χ = O(log log Δ)·χ(G_γ) — "G_obl".
 //
+// The adjacency is stored in CSR (compressed sparse row) form — one flat
+// RowPtr offset array plus one flat Neighbors array — so the coloring hot
+// loops walk contiguous memory and the build allocates O(1) slices instead
+// of one per vertex.
+//
 // Build is the production constructor: it buckets links into dyadic length
 // classes, indexes endpoints in one uniform hash grid per class, and detects
 // edges with a goroutine pool, so 10⁵-link instances build in seconds.
@@ -25,10 +30,12 @@
 package conflict
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
 	"sort"
+	"sync"
 
 	"aggrate/internal/geom"
 	"aggrate/internal/par"
@@ -84,6 +91,13 @@ func LogThreshold(gamma, alpha float64) Func {
 // Conflicting reports whether links i and j are f-conflicting.
 func Conflicting(f Func, i, j geom.Link) bool {
 	lmin, lmax := geom.MinMaxLen(i, j)
+	return conflictingLens(f, i, j, lmin, lmax)
+}
+
+// conflictingLens is Conflicting with the two link lengths already known
+// (ordered lmin ≤ lmax). The bucketed build precomputes every length once,
+// so its pair tests skip the two hypot calls that dominate Conflicting.
+func conflictingLens(f Func, i, j geom.Link, lmin, lmax float64) bool {
 	if lmin <= 0 {
 		return true
 	}
@@ -91,14 +105,86 @@ func Conflicting(f Func, i, j geom.Link) bool {
 	return geom.LinkDist2(i, j) <= thr*thr
 }
 
-// Graph is a concrete conflict graph over an indexed link set.
+// Graph is a concrete conflict graph over an indexed link set, with the
+// adjacency in CSR form: the neighbors of vertex i are
+// Neighbors[RowPtr[i]:RowPtr[i+1]], sorted ascending. Row(i) returns that
+// slice. The layout is two flat allocations regardless of the vertex count,
+// and a row walk is one contiguous scan.
 type Graph struct {
 	Links []geom.Link
 	F     Func
-	// Adj[i] lists the neighbors of link i, sorted ascending.
-	Adj [][]int32
-	// edges counts undirected edges.
-	edges int
+	// RowPtr has length N()+1; RowPtr[0] == 0.
+	RowPtr []int32
+	// Neighbors holds all adjacency rows back to back (2·Edges entries).
+	Neighbors []int32
+}
+
+// edge is one undirected edge, owned by the discovering endpoint.
+type edge struct{ i, j int32 }
+
+// fromEdges assembles the CSR adjacency from an undirected edge list in one
+// counting pass: count both endpoint degrees, prefix-sum into RowPtr, then
+// scatter each edge in both directions. Rows come out in edge-list order;
+// sortRows reports whether a per-row sort pass is still required (the naive
+// builder's lexicographic discovery order needs none).
+func fromEdges(links []geom.Link, f Func, edges []edge, sortRows bool) *Graph {
+	n := len(links)
+	g := &Graph{
+		Links:  append([]geom.Link(nil), links...),
+		F:      f,
+		RowPtr: make([]int32, n+1),
+	}
+	if 2*len(edges) > math.MaxInt32 {
+		// RowPtr/Neighbors are int32-indexed; 2³¹ directed edges is far
+		// beyond every supported workload (MST-derived graphs have constant
+		// average degree), so treat overflow as a programming error.
+		panic(fmt.Sprintf("conflict: %d edges overflow the int32 CSR index", len(edges)))
+	}
+	for _, e := range edges {
+		g.RowPtr[e.i+1]++
+		g.RowPtr[e.j+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.RowPtr[i+1] += g.RowPtr[i]
+	}
+	g.Neighbors = make([]int32, 2*len(edges))
+	fill := make([]int32, n)
+	copy(fill, g.RowPtr[:n])
+	for _, e := range edges {
+		g.Neighbors[fill[e.i]] = e.j
+		fill[e.i]++
+		g.Neighbors[fill[e.j]] = e.i
+		fill[e.j]++
+	}
+	if sortRows {
+		par.For(n, func(i int) {
+			slices.Sort(g.Row(i))
+		})
+	}
+	return g
+}
+
+// FromAdj assembles a Graph from explicit adjacency lists — the test-side
+// constructor for synthetic graphs and slice-form oracles. adj must be
+// symmetric (j in adj[i] ⟺ i in adj[j]); rows are copied, deduplicated,
+// and sorted into CSR form.
+func FromAdj(links []geom.Link, f Func, adj [][]int32) *Graph {
+	var edges []edge
+	for i, row := range adj {
+		for _, j := range row {
+			if int32(i) < j {
+				edges = append(edges, edge{int32(i), j})
+			}
+		}
+	}
+	slices.SortFunc(edges, func(a, b edge) int {
+		if a.i != b.i {
+			return cmp.Compare(a.i, b.i)
+		}
+		return cmp.Compare(a.j, b.j)
+	})
+	edges = slices.Compact(edges)
+	return fromEdges(links, f, edges, true)
 }
 
 // naiveCutoff is the instance size below which the bucketed build is not
@@ -120,25 +206,20 @@ func Build(links []geom.Link, f Func) *Graph {
 }
 
 // BuildNaive constructs G_f(links) by exact pairwise testing (O(n²)). The
-// double loop appends j>i to Adj[i] in increasing j and i to Adj[j] in
-// increasing i, so both directions come out ascending with no sorting pass.
+// double loop discovers edges in lexicographic (i, j) order, so the CSR
+// scatter emits both directions of every row already ascending with no
+// sorting pass.
 func BuildNaive(links []geom.Link, f Func) *Graph {
 	n := len(links)
-	g := &Graph{
-		Links: append([]geom.Link(nil), links...),
-		F:     f,
-		Adj:   make([][]int32, n),
-	}
+	var edges []edge
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if Conflicting(f, links[i], links[j]) {
-				g.Adj[i] = append(g.Adj[i], int32(j))
-				g.Adj[j] = append(g.Adj[j], int32(i))
-				g.edges++
+				edges = append(edges, edge{int32(i), int32(j)})
 			}
 		}
 	}
-	return g
+	return fromEdges(links, f, edges, false)
 }
 
 // cellKey addresses one cell of a uniform grid. Integer coordinates keep
@@ -196,7 +277,8 @@ func clampCell(v float64, lo, hi int64) int64 {
 // around both endpoints of i therefore yields a candidate superset; the
 // exact Conflicting test then reproduces the naive edge set. Each edge is
 // discovered exactly once, owned by the lower-class (ties: lower-index)
-// endpoint.
+// endpoint, collected into per-worker flat edge buffers, and scattered into
+// the CSR arrays in one counting pass — no per-vertex slices anywhere.
 func buildBucketed(links []geom.Link, f Func) *Graph {
 	n := len(links)
 	lens := make([]float64, n)
@@ -273,55 +355,45 @@ func buildBucketed(links []geom.Link, f Func) *Graph {
 		}
 	}
 
-	// Parallel candidate search. owned[i] collects the edges i is
-	// responsible for: same-class neighbors j > i and all conflicting
-	// neighbors in strictly higher classes.
-	owned := make([][]int32, n)
+	// Parallel candidate search. Each worker appends the edges its vertices
+	// own — same-class neighbors j > i and all conflicting neighbors in
+	// strictly higher classes — to one flat per-worker buffer.
+	var mu sync.Mutex
+	var bufs [][]edge
 	par.ForBlocks(n, 64, func(next func() (int, int, bool)) {
 		stamp := make([]int32, n)
 		for i := range stamp {
 			stamp[i] = -1
 		}
+		var buf []edge
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for i := lo; i < hi; i++ {
-				searchLink(links, lens, class, grids, f, int32(i), stamp, &owned[i])
+				searchLink(links, lens, class, grids, f, int32(i), stamp, &buf)
 			}
 		}
+		mu.Lock()
+		bufs = append(bufs, buf)
+		mu.Unlock()
 	})
-
-	g := &Graph{
-		Links: append([]geom.Link(nil), links...),
-		F:     f,
-		Adj:   make([][]int32, n),
-	}
-	deg := make([]int32, n)
-	for i, lst := range owned {
-		g.edges += len(lst)
-		deg[i] += int32(len(lst))
-		for _, j := range lst {
-			deg[j]++
+	var edges []edge
+	if len(bufs) == 1 {
+		edges = bufs[0]
+	} else {
+		total := 0
+		for _, b := range bufs {
+			total += len(b)
+		}
+		edges = make([]edge, 0, total)
+		for _, b := range bufs {
+			edges = append(edges, b...)
 		}
 	}
-	for i := range g.Adj {
-		if deg[i] > 0 {
-			g.Adj[i] = make([]int32, 0, deg[i])
-		}
-	}
-	for i, lst := range owned {
-		for _, j := range lst {
-			g.Adj[i] = append(g.Adj[i], j)
-			g.Adj[j] = append(g.Adj[j], int32(i))
-		}
-	}
-	par.For(len(g.Adj), func(i int) {
-		slices.Sort(g.Adj[i])
-	})
-	return g
+	return fromEdges(links, f, edges, true)
 }
 
-// searchLink appends to *out every neighbor of link i that i owns.
+// searchLink appends to *out every edge (i, j) that link i owns.
 func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGrid,
-	f Func, i int32, stamp []int32, out *[]int32) {
+	f Func, i int32, stamp []int32, out *[]edge) {
 	li := lens[i]
 	ci := class[i]
 	for c := ci; c < len(grids); c++ {
@@ -366,13 +438,13 @@ func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGr
 					if k.x < x0 || k.x > x1 || k.y < y0 || k.y > y1 {
 						continue
 					}
-					scanCell(links, f, i, ci == c, cell, stamp, out)
+					scanCell(links, lens, f, i, ci == c, cell, stamp, out)
 				}
 				continue
 			}
 			for cx := x0; cx <= x1; cx++ {
 				for cy := y0; cy <= y1; cy++ {
-					scanCell(links, f, i, ci == c, cg.cells[cellKey{cx, cy}], stamp, out)
+					scanCell(links, lens, f, i, ci == c, cg.cells[cellKey{cx, cy}], stamp, out)
 				}
 			}
 		}
@@ -380,16 +452,22 @@ func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGr
 }
 
 // scanCell runs the exact conflict test against every candidate in one
-// grid cell, recording the neighbors link i owns.
-func scanCell(links []geom.Link, f Func, i int32, sameClass bool, cell []int32,
-	stamp []int32, out *[]int32) {
+// grid cell, recording the edges link i owns. Link lengths come from the
+// precomputed lens table, skipping Conflicting's per-pair hypot calls.
+func scanCell(links []geom.Link, lens []float64, f Func, i int32, sameClass bool,
+	cell []int32, stamp []int32, out *[]edge) {
+	li := lens[i]
 	for _, j := range cell {
 		if j == i || (sameClass && j < i) || stamp[j] == i {
 			continue
 		}
 		stamp[j] = i
-		if Conflicting(f, links[i], links[j]) {
-			*out = append(*out, j)
+		lmin, lmax := li, lens[j]
+		if lmin > lmax {
+			lmin, lmax = lmax, lmin
+		}
+		if conflictingLens(f, links[i], links[j], lmin, lmax) {
+			*out = append(*out, edge{i, j})
 		}
 	}
 }
@@ -398,25 +476,32 @@ func scanCell(links []geom.Link, f Func, i int32, sameClass bool, cell []int32,
 func (g *Graph) N() int { return len(g.Links) }
 
 // Edges returns the number of undirected edges.
-func (g *Graph) Edges() int { return g.edges }
+func (g *Graph) Edges() int { return len(g.Neighbors) / 2 }
+
+// Row returns the sorted neighbor row of vertex i. The slice aliases the
+// graph's CSR storage; callers must not modify it (test constructors like
+// FromAdj excepted).
+func (g *Graph) Row(i int) []int32 {
+	return g.Neighbors[g.RowPtr[i]:g.RowPtr[i+1]]
+}
 
 // Degree returns the degree of vertex i.
-func (g *Graph) Degree(i int) int { return len(g.Adj[i]) }
+func (g *Graph) Degree(i int) int { return int(g.RowPtr[i+1] - g.RowPtr[i]) }
 
 // MaxDegree returns the maximum vertex degree (0 for an empty graph).
 func (g *Graph) MaxDegree() int {
-	d := 0
-	for i := range g.Adj {
-		if len(g.Adj[i]) > d {
-			d = len(g.Adj[i])
+	d := int32(0)
+	for i := 0; i < len(g.RowPtr)-1; i++ {
+		if w := g.RowPtr[i+1] - g.RowPtr[i]; w > d {
+			d = w
 		}
 	}
-	return d
+	return int(d)
 }
 
-// HasEdge reports whether i and j are adjacent, by binary search.
+// HasEdge reports whether i and j are adjacent, by binary search in i's row.
 func (g *Graph) HasEdge(i, j int) bool {
-	adj := g.Adj[i]
+	adj := g.Row(i)
 	k := sort.Search(len(adj), func(k int) bool { return adj[k] >= int32(j) })
 	return k < len(adj) && adj[k] == int32(j)
 }
@@ -424,13 +509,13 @@ func (g *Graph) HasEdge(i, j int) bool {
 // IsIndependent reports whether the given vertex subset is pairwise
 // non-adjacent.
 func (g *Graph) IsIndependent(set []int) bool {
-	mark := make(map[int]bool, len(set))
+	mark := make([]bool, g.N())
 	for _, v := range set {
 		mark[v] = true
 	}
 	for _, v := range set {
-		for _, w := range g.Adj[v] {
-			if mark[int(w)] {
+		for _, w := range g.Row(v) {
+			if mark[w] {
 				return false
 			}
 		}
@@ -443,7 +528,7 @@ func (g *Graph) IsIndependent(set []int) bool {
 func (g *Graph) LongerNeighbors(i int) []int {
 	li := g.Links[i].Length()
 	var out []int
-	for _, w := range g.Adj[i] {
+	for _, w := range g.Row(i) {
 		if g.Links[w].Length() >= li {
 			out = append(out, int(w))
 		}
@@ -494,5 +579,5 @@ func (g *Graph) AverageDegree() float64 {
 	if len(g.Links) == 0 {
 		return 0
 	}
-	return 2 * float64(g.edges) / float64(len(g.Links))
+	return 2 * float64(g.Edges()) / float64(len(g.Links))
 }

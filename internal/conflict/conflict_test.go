@@ -61,8 +61,8 @@ func graphsEqual(t *testing.T, want, got *Graph, label string) {
 	if want.Edges() != got.Edges() {
 		t.Fatalf("%s: edge count mismatch: naive=%d bucketed=%d", label, want.Edges(), got.Edges())
 	}
-	for i := range want.Adj {
-		wa, ga := want.Adj[i], got.Adj[i]
+	for i := 0; i < want.N(); i++ {
+		wa, ga := want.Row(i), got.Row(i)
 		if len(wa) != len(ga) {
 			t.Fatalf("%s: vertex %d degree mismatch: naive=%d bucketed=%d", label, i, len(wa), len(ga))
 		}
@@ -122,10 +122,11 @@ func TestBuildDeterministic(t *testing.T) {
 // adjacency directions in ascending order already.
 func TestNaiveAdjacencyAscending(t *testing.T) {
 	g := BuildNaive(mstLinks(t, 400, 7, 500), Gamma(2))
-	for i, adj := range g.Adj {
+	for i := 0; i < g.N(); i++ {
+		adj := g.Row(i)
 		for k := 1; k < len(adj); k++ {
 			if adj[k-1] >= adj[k] {
-				t.Fatalf("Adj[%d] not strictly ascending at pos %d: %d >= %d", i, k, adj[k-1], adj[k])
+				t.Fatalf("Row(%d) not strictly ascending at pos %d: %d >= %d", i, k, adj[k-1], adj[k])
 			}
 		}
 	}

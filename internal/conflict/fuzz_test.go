@@ -104,10 +104,10 @@ func FuzzBuildMatchesNaive(f *testing.F) {
 				t.Fatalf("%s: edge count %d (bucketed) != %d (naive) on %v",
 					fn.Name, bucketed.Edges(), naive.Edges(), links)
 			}
-			for i := range naive.Adj {
-				if !slices.Equal(naive.Adj[i], bucketed.Adj[i]) {
+			for i := 0; i < naive.N(); i++ {
+				if !slices.Equal(naive.Row(i), bucketed.Row(i)) {
 					t.Fatalf("%s: adjacency of link %d differs: bucketed %v, naive %v on %v",
-						fn.Name, i, bucketed.Adj[i], naive.Adj[i], links)
+						fn.Name, i, bucketed.Row(i), naive.Row(i), links)
 				}
 			}
 		}

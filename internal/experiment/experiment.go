@@ -276,9 +276,13 @@ type Timings struct {
 	GenerateSec float64 `json:"generate_sec"`
 	MSTSec      float64 `json:"mst_sec"`
 	BuildSec    float64 `json:"build_sec"`
-	ColorSec    float64 `json:"color_sec"`
-	RefineSec   float64 `json:"refine_sec,omitempty"`
-	VerifySec   float64 `json:"verify_sec"`
+	// OrderSec is the vertex-order computation time (the length sort of
+	// greedy/lengthclass; zero for orderless colorings), split out from
+	// ColorSec so the coloring stage's cost is tracked per strategy.
+	OrderSec  float64 `json:"order_sec"`
+	ColorSec  float64 `json:"color_sec"`
+	RefineSec float64 `json:"refine_sec,omitempty"`
+	VerifySec float64 `json:"verify_sec"`
 	// PowerSolveSec is the CPU time spent computing slot power assignments
 	// (global power's per-slot Solve; ≈0 for oblivious schemes), summed
 	// over slots. Slots verify in parallel, so this can exceed the
@@ -451,6 +455,7 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 			return nil, res, err
 		}
 		res.Timings.BuildSec += diag.BuildSec
+		res.Timings.OrderSec += diag.OrderSec
 		res.Timings.ColorSec += diag.ColorSec
 
 		inst.Graph, inst.Colors, inst.Schedule, inst.Diag = diag.Graph, diag.Colors, sched, diag

@@ -13,7 +13,7 @@ package schedule
 import (
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggrate/internal/par"
@@ -65,43 +65,54 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 	eng := sinr.NewEngine(p, s.Links)
 	type slotOut struct {
 		margin              float64
+		stats               sinr.EngineStats
 		powerSec, marginSec float64
 		pfErr, mErr         error
 	}
 	outs := make([]slotOut, len(s.Slots))
-	var mu sync.Mutex
+	// failCut is the lowest slot index so far found infeasible (or errored).
+	// The naive oracle stops at the first bad slot, and the reduction below
+	// replicates that — slots beyond the cut can never influence the result,
+	// so workers skip them. On an infeasible schedule (every γ-escalation
+	// attempt but the last) this turns a full verification pass into one that
+	// stops shortly after the first bad slot.
+	var failCut atomic.Int64
+	failCut.Store(int64(len(s.Slots)))
 	// Block size 1: slot sizes are heavily skewed (first-fit slot 0 is the
 	// largest), so fine-grained stealing is what balances the pool.
 	par.ForBlocks(len(s.Slots), 1, func(next func() (int, int, bool)) {
 		sc := sinr.NewEngineScratch()
-		var es sinr.EngineStats
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for k := lo; k < hi; k++ {
 				slot := s.Slots[k]
-				if len(slot) == 0 {
+				if len(slot) == 0 || int64(k) > failCut.Load() {
 					continue
 				}
+				o := &outs[k]
 				t0 := time.Now()
 				powers, err := pf(k, slot)
-				outs[k].powerSec = time.Since(t0).Seconds()
+				o.powerSec = time.Since(t0).Seconds()
 				if err != nil {
-					outs[k].pfErr = err
+					o.pfErr = err
+					lowerCut(&failCut, int64(k))
 					continue
 				}
 				t0 = time.Now()
-				outs[k].margin, outs[k].mErr = eng.MarginSlot(slot, powers, sc, &es)
-				outs[k].marginSec = time.Since(t0).Seconds()
+				o.margin, o.mErr = eng.MarginSlot(slot, powers, sc, &o.stats)
+				o.marginSec = time.Since(t0).Seconds()
+				if o.mErr != nil || o.margin < 1 {
+					lowerCut(&failCut, int64(k))
+				}
 			}
 		}
-		mu.Lock()
-		st.Engine.Add(es)
-		mu.Unlock()
 	})
 
 	// Deterministic reduction in slot order, replicating the naive path's
 	// early-return values: a power/margin error at the first offending slot
 	// returns 0; the first infeasible slot returns the min margin over the
-	// slots up to and including it.
+	// slots up to and including it. Stats accumulate in the same order, so
+	// they never depend on which slots beyond the cut a worker happened to
+	// finish before the cut moved.
 	worst := math.Inf(1)
 	for k := range outs {
 		if len(s.Slots[k]) == 0 {
@@ -109,6 +120,7 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 		}
 		o := &outs[k]
 		st.Slots++
+		st.Engine.Add(o.stats)
 		st.PowerSec += o.powerSec
 		st.MarginSec += o.marginSec
 		if o.pfErr != nil {
@@ -125,4 +137,14 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 		}
 	}
 	return worst, st, nil
+}
+
+// lowerCut lowers cut to k if k is smaller (atomic monotone min).
+func lowerCut(cut *atomic.Int64, k int64) {
+	for {
+		cur := cut.Load()
+		if k >= cur || cut.CompareAndSwap(cur, k) {
+			return
+		}
+	}
 }

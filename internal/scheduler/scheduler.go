@@ -15,6 +15,10 @@
 //     (Theorems 1 and 3);
 //   - dsatur      — DSATUR over the same global conflict graph, a stronger
 //     pure graph-coloring baseline;
+//   - jp          — parallel Jones–Plassmann random-priority coloring of
+//     the same global conflict graph (the shared-memory analogue of the
+//     distributed colorings the paper's line of work builds on);
+//     deterministic for its fixed internal seed regardless of GOMAXPROCS;
 //   - naive       — protocol-model distance TDMA: links conflict whenever
 //     they are within γ times the longer length of each other, colored
 //     first-fit in input order with no SINR or length awareness — the
@@ -105,9 +109,12 @@ type Diag struct {
 	Edges     int
 	MaxDegree int
 	AvgDegree float64
-	// BuildSec and ColorSec split the strategy's wall-clock between graph
-	// construction and coloring/interleaving.
+	// BuildSec, OrderSec and ColorSec split the strategy's wall-clock
+	// between graph construction, vertex-order computation (the length sort
+	// of greedy/lengthclass; zero for orderless colorings), and the
+	// coloring/interleaving itself.
 	BuildSec float64
+	OrderSec float64
 	ColorSec float64
 }
 
@@ -124,11 +131,12 @@ const (
 	Greedy      = "greedy"
 	LengthClass = "lengthclass"
 	DSatur      = "dsatur"
+	JP          = "jp"
 	Naive       = "naive"
 )
 
 // Names lists the registered strategies in canonical order.
-func Names() []string { return []string{Greedy, LengthClass, DSatur, Naive} }
+func Names() []string { return []string{Greedy, LengthClass, DSatur, JP, Naive} }
 
 // Lookup resolves a strategy by name.
 func Lookup(name string) (Strategy, error) {
@@ -139,6 +147,8 @@ func Lookup(name string) (Strategy, error) {
 		return lengthClassStrategy{}, nil
 	case DSatur:
 		return dsaturStrategy{}, nil
+	case JP:
+		return jpStrategy{}, nil
 	case Naive:
 		return naiveStrategy{}, nil
 	default:
@@ -157,17 +167,19 @@ func All() []Strategy {
 }
 
 // colorWith is the shared body of the single-graph strategies: build the
-// conflict graph for cfg, color it with the supplied coloring, and emit the
-// coloring schedule.
+// conflict graph for cfg, color it with the supplied coloring (which gets a
+// fresh Workspace and a pre-sized palette, and may split its time into
+// Diag.OrderSec via the diag pointer), and emit the coloring schedule.
 func colorWith(links []geom.Link, f conflict.Func,
-	color func(*conflict.Graph) ([]int, int)) (*schedule.Schedule, Diag, error) {
+	color func(*conflict.Graph, *coloring.Workspace, []int, *Diag) int) (*schedule.Schedule, Diag, error) {
 	t0 := time.Now()
 	g := conflict.Build(links, f)
 	d := Diag{Func: f, Graph: g, BuildSec: time.Since(t0).Seconds()}
 
 	t0 = time.Now()
-	colors, numColors := color(g)
-	d.ColorSec = time.Since(t0).Seconds()
+	colors := make([]int, g.N())
+	numColors := color(g, coloring.NewWorkspace(), colors, &d)
+	d.ColorSec = time.Since(t0).Seconds() - d.OrderSec
 	sched, err := schedule.FromColoring(links, colors)
 	if err != nil {
 		return nil, d, err
@@ -188,7 +200,12 @@ func (greedyStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedul
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(links, f, coloring.GreedyByLength)
+	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, d *Diag) int {
+		t0 := time.Now()
+		order := ws.LengthOrder(g)
+		d.OrderSec = time.Since(t0).Seconds()
+		return ws.FirstFit(g, order, colors)
+	})
 }
 
 // dsaturStrategy colors the same conflict graph with DSATUR.
@@ -201,7 +218,29 @@ func (dsaturStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedul
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(links, f, coloring.DSatur)
+	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+		return ws.DSatur(g, colors)
+	})
+}
+
+// jpSeed is the fixed priority seed of the jp strategy: schedules stay
+// deterministic in (links, Config) like every other strategy.
+const jpSeed = 0x51ce5e11a9b6d7c3
+
+// jpStrategy colors the same conflict graph with the parallel
+// Jones–Plassmann random-priority coloring.
+type jpStrategy struct{}
+
+func (jpStrategy) Name() string { return JP }
+
+func (jpStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+	f, err := cfg.ConflictFunc()
+	if err != nil {
+		return nil, Diag{}, err
+	}
+	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+		return ws.JP(g, jpSeed, colors)
+	})
 }
 
 // naiveStrategy is the Sec. 6 strawman: a protocol-model TDMA that silences
@@ -228,8 +267,8 @@ func (naiveStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule
 		return nil, Diag{}, err // reject bogus graph kinds uniformly
 	}
 	f := NaiveFunc(cfg.Gamma)
-	return colorWith(links, f, func(g *conflict.Graph) ([]int, int) {
-		return coloring.FirstFit(g, coloring.IndexOrder(g.N()))
+	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+		return ws.FirstFit(g, coloring.IndexOrder(g.N()), colors)
 	})
 }
 
@@ -265,7 +304,10 @@ func (lengthClassStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Sc
 	d.Classes = len(classes)
 
 	// Per-class schedules, classes in increasing length order. classSlots[c]
-	// lists the slots of class c in global link indices.
+	// lists the slots of class c in global link indices. One Workspace and
+	// one densify scratch are threaded through all classes.
+	ws := coloring.NewWorkspace()
+	var densifyScratch []int
 	classSlots := make([][][]int, len(classes))
 	for c, idx := range classes {
 		classLinks := make([]geom.Link, len(idx))
@@ -281,7 +323,11 @@ func (lengthClassStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Sc
 		}
 
 		t0 = time.Now()
-		colors, numColors := coloring.GreedyByLength(g)
+		order := ws.LengthOrder(g)
+		d.OrderSec += time.Since(t0).Seconds()
+		t0 = time.Now()
+		colors := make([]int, g.N())
+		numColors := ws.FirstFit(g, order, colors)
 		// Slot key of class link k: its color, optionally subdivided by the
 		// Theorem-2 refinement set on the arbitrary-power graph.
 		slotOf := colors
@@ -299,11 +345,10 @@ func (lengthClassStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Sc
 			}
 			// Dense renumbering of the non-empty (color, set) pairs, ordered
 			// by color then set.
-			pair := make([]int, len(classLinks))
 			for k := range classLinks {
-				pair[k] = colors[k]*len(sets) + setOf[k]
+				slotOf[k] = colors[k]*len(sets) + setOf[k]
 			}
-			slotOf, numSlots = densify(pair)
+			numSlots = densify(slotOf, &densifyScratch)
 		}
 		slots := make([][]int, numSlots)
 		for k, s := range slotOf {
@@ -389,24 +434,22 @@ func LengthClasses(links []geom.Link) ([][]int, error) {
 }
 
 // densify renumbers arbitrary non-negative slot keys into the dense range
-// [0, count) preserving key order, returning the renumbered slice and count.
-func densify(keys []int) ([]int, int) {
-	distinct := make([]int, 0, len(keys))
-	seen := make(map[int]bool, len(keys))
-	for _, k := range keys {
-		if !seen[k] {
-			seen[k] = true
-			distinct = append(distinct, k)
+// [0, count) in place, preserving key order, and returns the count. It
+// ranks by sorting a copy of the keys in *scratch (reused across calls and
+// deduplicated in place) and binary-searching each key — no maps, which
+// kept this on the lengthclass allocation profile.
+func densify(keys []int, scratch *[]int) int {
+	s := append((*scratch)[:0], keys...)
+	sort.Ints(s)
+	u := s[:0]
+	for i, k := range s {
+		if i == 0 || k != s[i-1] {
+			u = append(u, k)
 		}
 	}
-	sort.Ints(distinct)
-	rank := make(map[int]int, len(distinct))
-	for r, k := range distinct {
-		rank[k] = r
-	}
-	out := make([]int, len(keys))
+	*scratch = s
 	for i, k := range keys {
-		out[i] = rank[k]
+		keys[i] = sort.SearchInts(u, k)
 	}
-	return out, len(distinct)
+	return len(u)
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# check_bench_regression.sh MEASURED.json [BASELINE.json] [MAX_RATIO]
+#
+# Guards the scheduling hot path: fails when the measured greedy
+# pipeline_sec at the probe size (the largest n present in the baseline,
+# n=20000 as checked in) exceeds MAX_RATIO (default 1.5) times the
+# checked-in baseline. Both files use the BENCH_pipeline.json schema
+# (runs[] per GOMAXPROCS setting); the first run of each file is compared.
+#
+# Caveat — this is a cross-hardware wall-clock comparison: the baseline was
+# recorded single-threaded on a 1-CPU container, and the CI gate pins
+# GOMAXPROCS=1 to match, but a markedly slower runner generation can still
+# trip it without a code change. If the gate reddens on unrelated PRs,
+# re-record BENCH_baseline.json on current CI hardware
+# (`GOMAXPROCS=1 go run ./cmd/aggrate bench --sizes 20000 --naive-max 0
+# --algo greedy --procs 1 --out BENCH_baseline.json`) or pass a larger
+# MAX_RATIO as the third argument rather than deleting the gate.
+set -euo pipefail
+
+measured=${1:?usage: check_bench_regression.sh MEASURED.json [BASELINE.json] [MAX_RATIO]}
+baseline=${2:-$(dirname "$0")/../BENCH_baseline.json}
+max_ratio=${3:-1.5}
+
+python3 - "$measured" "$baseline" "$max_ratio" <<'EOF'
+import json, sys
+
+measured_path, baseline_path, max_ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def greedy_pipeline_secs(path):
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for entry in report["runs"][0]["entries"]:
+        for algo in entry["algos"]:
+            if algo["algo"] == "greedy":
+                out[entry["n"]] = algo["pipeline_sec"]
+    return out
+
+base = greedy_pipeline_secs(baseline_path)
+meas = greedy_pipeline_secs(measured_path)
+if not base:
+    sys.exit(f"{baseline_path}: no greedy entries")
+n = max(n for n in base if n in meas) if any(n in meas for n in base) else None
+if n is None:
+    sys.exit(f"{measured_path}: no size overlaps the baseline sizes {sorted(base)}")
+
+ratio = meas[n] / base[n]
+print(f"greedy n={n}: measured {meas[n]:.3f}s vs baseline {base[n]:.3f}s -> {ratio:.2f}x (limit {max_ratio}x)")
+if ratio > max_ratio:
+    sys.exit(f"pipeline regression: {ratio:.2f}x exceeds the {max_ratio}x budget")
+EOF
