@@ -5,28 +5,35 @@
 // Subcommands:
 //
 //	aggrate run     — execute a (scenario × n × seed × power × algo) batch,
-//	                  emit JSON or CSV
+//	                  emit JSON, CSV, or NDJSON (CSV/NDJSON stream
+//	                  incrementally as instances complete)
 //	aggrate compare — run every scheduling strategy on identical instances
 //	                  and print a per-strategy comparison table
 //	aggrate bench   — time the conflict-graph build (bucketed vs naive) and
 //	                  the full pipeline per strategy across instance sizes
 //	                  and GOMAXPROCS settings, emit BENCH_pipeline.json
+//	aggrate serve   — long-running HTTP JSON job API over the same engine,
+//	                  with spec-keyed result caching (see internal/service)
 //
 // run and bench accept --cpuprofile/--memprofile to write pprof profiles of
-// the exercised pipeline.
+// the exercised pipeline, and --timeout to bound the batch wall clock. A
+// SIGINT (or an expired --timeout) cancels the engine mid-flight and
+// flushes every completed result instead of discarding the batch.
 //
 // Examples:
 //
 //	aggrate run --scenario uniform --n 50000 --seeds 4
 //	aggrate run --scenario cluster,annulus --n 1000,4000 --seeds 8 --power mean,global --format csv
 //	aggrate run --scenario uniform --n 10000 --algo greedy,lengthclass --seeds 4
-//	aggrate run --scenario uniform --n 20000 --cpuprofile cpu.pprof --memprofile mem.pprof
+//	aggrate run --scenario uniform --n 20000 --seeds 64 --format ndjson --timeout 30s
 //	aggrate compare --scenario uniform --n 5000 --seeds 3
 //	aggrate bench --sizes 1000,5000,10000,20000 --out BENCH_pipeline.json
 //	aggrate bench --sizes 20000,100000,200000 --procs 1,0 --out BENCH_pipeline.json
+//	aggrate serve --addr 127.0.0.1:8080
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -34,7 +41,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"slices"
@@ -49,6 +59,7 @@ import (
 	"aggrate/internal/scenario"
 	"aggrate/internal/schedule"
 	"aggrate/internal/scheduler"
+	"aggrate/internal/service"
 	"aggrate/internal/sinr"
 )
 
@@ -71,6 +82,8 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 		err = cmdCompare(args[1:], stdout, stderr)
 	case "bench":
 		err = cmdBench(args[1:], stdout, stderr)
+	case "serve":
+		err = cmdServe(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stderr)
 		return 0
@@ -93,11 +106,12 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, `usage: aggrate <run|compare|bench> [flags]
+	fmt.Fprintf(w, `usage: aggrate <run|compare|bench|serve> [flags]
 
 run     executes an experiment batch; see 'aggrate run -h'
 compare runs all scheduling strategies on identical instances; see 'aggrate compare -h'
 bench   times conflict-graph builds and the full pipeline; see 'aggrate bench -h'
+serve   runs the HTTP job API with spec-keyed result caching; see 'aggrate serve -h'
 
 scenario presets: %s
 algorithms:       %s
@@ -247,25 +261,46 @@ func (sf *specFlags) resolve() ([]experiment.Scenario, []int, experiment.Spec, e
 	return scList, nList, base, nil
 }
 
+// batchContext builds the batch's cancellation context: an optional
+// deadline from --timeout, plus SIGINT so an interrupted batch flushes its
+// completed results instead of discarding them.
+func batchContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	cancels := make([]context.CancelFunc, 0, 2)
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		cancels = append(cancels, cancel)
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	cancels = append(cancels, stop)
+	return ctx, func() {
+		for _, c := range cancels {
+			c()
+		}
+	}
+}
+
 func cmdRun(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("run", stderr)
 	sf := addSpecFlags(fs, "1000", 1)
 	powers := fs.String("power", "mean", "comma-separated power schemes (uniform, mean, linear, global)")
 	algos := fs.String("algo", scheduler.Greedy, "comma-separated scheduling algorithms ("+strings.Join(scheduler.Names(), ", ")+")")
 	refine := fs.Bool("refine", false, "also run the Theorem-2 refinement (O(n²); slow above ~20k links)")
-	format := fs.String("format", "json", "output format: json or csv")
+	format := fs.String("format", "json", "output format: json, csv, or ndjson (csv/ndjson stream incrementally)")
 	out := fs.String("out", "-", "output path ('-' = stdout)")
 	summaryOnly := fs.Bool("summary-only", false, "emit only the aggregated summaries (json)")
+	timeout := fs.Duration("timeout", 0, "cancel the batch after this duration, flushing completed results (0 = none)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	if *format != "json" && *format != "csv" {
-		return fmt.Errorf("unknown --format %q (want json or csv)", *format)
+	if *format != "json" && *format != "csv" && *format != "ndjson" {
+		return fmt.Errorf("unknown --format %q (want json, csv, or ndjson)", *format)
 	}
 	if *summaryOnly && *format != "json" {
-		return fmt.Errorf("--summary-only requires --format json (csv has no summary form)")
+		return fmt.Errorf("--summary-only requires --format json (csv/ndjson have no summary form)")
 	}
 	scList, nList, base, err := sf.resolve()
 	if err != nil {
@@ -293,37 +328,85 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	specs := experiment.Expand(scList, nList, *sf.seeds, powerList, algoList, base)
 	fmt.Fprintf(stderr, "aggrate: running %d instances on %d workers\n",
 		len(specs), experiment.Workers(*sf.workers, len(specs)))
-	start := time.Now()
-	results := experiment.RunBatch(specs, *sf.workers)
-	elapsed := time.Since(start)
 
-	failed := 0
-	for _, r := range results {
-		if r.Err != "" {
-			failed++
-		}
-	}
-	fmt.Fprintf(stderr, "aggrate: %d/%d instances ok in %.2fs\n",
-		len(results)-failed, len(results), elapsed.Seconds())
+	ctx, cancel := batchContext(*timeout)
+	defer cancel()
 
 	w, closeFn, err := openOut(*out, stdout)
 	if err != nil {
 		return err
 	}
-	var werr error
+	// CSV and NDJSON emit incrementally: each result is written as soon as
+	// every earlier spec's result is in (the ordered emitter buffers
+	// out-of-order completions), so the file's row order is deterministic
+	// and a long batch is inspectable while it runs. JSON needs the closing
+	// summaries, so it stays collect-then-write.
+	var emit *orderedEmitter
 	switch *format {
-	case "json":
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write(csvHeader()); err != nil {
+			closeFn()
+			return err
+		}
+		emit = &orderedEmitter{emit: func(r *experiment.Result) error {
+			if err := cw.Write(csvRow(r)); err != nil {
+				return err
+			}
+			cw.Flush()
+			return cw.Error()
+		}}
+	case "ndjson":
+		enc := json.NewEncoder(w)
+		emit = &orderedEmitter{emit: func(r *experiment.Result) error { return enc.Encode(r) }}
+	}
+
+	start := time.Now()
+	runner := experiment.Runner{Workers: *sf.workers}
+	if emit != nil {
+		runner.Sink = func(i int, r *experiment.Result) { emit.add(i, r) }
+	}
+	results, runErr := runner.Run(ctx, specs)
+	elapsed := time.Since(start)
+
+	completed, failed := 0, 0
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		completed++
+		if r.Err != "" {
+			failed++
+		}
+	}
+	fmt.Fprintf(stderr, "aggrate: %d/%d instances ok in %.2fs\n",
+		completed-failed, len(results), elapsed.Seconds())
+
+	var werr error
+	if emit != nil {
+		// Flush stragglers: results completed out of order past a gap left
+		// by the cancellation. Rows stay in increasing spec order.
+		emit.flush()
+		werr = emit.err
+	} else {
+		done := results
+		if runErr != nil {
+			done = make([]*experiment.Result, 0, completed)
+			for _, r := range results {
+				if r != nil {
+					done = append(done, r)
+				}
+			}
+		}
 		payload := map[string]any{
-			"summaries": experiment.Aggregate(results),
+			"summaries": experiment.Aggregate(done),
 		}
 		if !*summaryOnly {
-			payload["results"] = results
+			payload["results"] = done
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		werr = enc.Encode(payload)
-	case "csv":
-		werr = writeCSV(w, results)
 	}
 	if cerr := closeFn(); werr == nil {
 		werr = cerr
@@ -331,44 +414,86 @@ func cmdRun(args []string, stdout, stderr io.Writer) error {
 	if werr != nil {
 		return werr
 	}
+	if runErr != nil {
+		return fmt.Errorf("batch interrupted (%v); flushed %d/%d completed instances",
+			runErr, completed, len(specs))
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d instance(s) failed; see the error field in the output", failed)
 	}
 	return nil
 }
 
-func writeCSV(w io.Writer, results []*experiment.Result) error {
-	cw := csv.NewWriter(w)
-	header := []string{
+// orderedEmitter replays sink callbacks in spec order: result i is emitted
+// once results 0..i-1 have been, so incremental output is deterministic
+// regardless of completion order. Runner serializes sink calls, and flush
+// runs after Run returns — no locking needed.
+type orderedEmitter struct {
+	next    int
+	pending map[int]*experiment.Result
+	emit    func(*experiment.Result) error
+	err     error
+}
+
+func (e *orderedEmitter) add(i int, r *experiment.Result) {
+	if e.pending == nil {
+		e.pending = make(map[int]*experiment.Result)
+	}
+	e.pending[i] = r
+	for e.err == nil {
+		r, ok := e.pending[e.next]
+		if !ok {
+			return
+		}
+		delete(e.pending, e.next)
+		e.next++
+		e.err = e.emit(r)
+	}
+}
+
+// flush drains the remaining out-of-order completions (the gaps of a
+// cancelled batch) in increasing spec order.
+func (e *orderedEmitter) flush() {
+	for e.err == nil && len(e.pending) > 0 {
+		for !e.pendingHas(e.next) {
+			e.next++
+		}
+		r := e.pending[e.next]
+		delete(e.pending, e.next)
+		e.next++
+		e.err = e.emit(r)
+	}
+}
+
+func (e *orderedEmitter) pendingHas(i int) bool {
+	_, ok := e.pending[i]
+	return ok
+}
+
+func csvHeader() []string {
+	return []string{
 		"scenario", "n", "seed", "power", "graph", "algo", "links", "diversity",
 		"logstar", "edges", "max_degree", "colors", "schedule_length",
 		"rate", "colors_per_logstar", "length_classes", "gamma_used",
 		"gamma_retries", "margin", "verified", "refine_sets", "build_sec",
 		"order_sec", "color_sec", "verify_sec", "total_sec", "error",
 	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
+}
+
+func csvRow(r *experiment.Result) []string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
-	for _, r := range results {
-		row := []string{
-			r.Scenario, strconv.Itoa(r.N), strconv.FormatUint(r.Seed, 10),
-			r.Power, r.Graph, r.Algo, strconv.Itoa(r.Links), f(r.Diversity),
-			strconv.Itoa(r.LogStar), strconv.Itoa(r.Edges),
-			strconv.Itoa(r.MaxDegree), strconv.Itoa(r.Colors),
-			strconv.Itoa(r.ScheduleLength), f(r.Rate), f(r.ColorsPerLogStar),
-			strconv.Itoa(r.Classes),
-			f(r.GammaUsed), strconv.Itoa(r.GammaRetries), f(r.Margin),
-			strconv.FormatBool(r.Verified), strconv.Itoa(r.RefineSets),
-			f(r.Timings.BuildSec), f(r.Timings.OrderSec), f(r.Timings.ColorSec),
-			f(r.Timings.VerifySec), f(r.Timings.TotalSec), r.Err,
-		}
-		if err := cw.Write(row); err != nil {
-			return err
-		}
+	return []string{
+		r.Scenario, strconv.Itoa(r.N), strconv.FormatUint(r.Seed, 10),
+		r.Power, r.Graph, r.Algo, strconv.Itoa(r.Links), f(r.Diversity),
+		strconv.Itoa(r.LogStar), strconv.Itoa(r.Edges),
+		strconv.Itoa(r.MaxDegree), strconv.Itoa(r.Colors),
+		strconv.Itoa(r.ScheduleLength), f(r.Rate), f(r.ColorsPerLogStar),
+		strconv.Itoa(r.Classes),
+		f(r.GammaUsed), strconv.Itoa(r.GammaRetries), f(r.Margin),
+		strconv.FormatBool(r.Verified), strconv.Itoa(r.RefineSets),
+		f(r.Timings.BuildSec), f(r.Timings.OrderSec), f(r.Timings.ColorSec),
+		f(r.Timings.VerifySec), f(r.Timings.TotalSec), r.Err,
 	}
-	cw.Flush()
-	return cw.Error()
 }
 
 // cmdCompare runs every requested strategy on identical instances (same
@@ -401,16 +526,20 @@ func cmdCompare(args []string, stdout, stderr io.Writer) error {
 	specs := experiment.Expand(scList, nList, *sf.seeds, []string{*power}, algoList, base)
 	fmt.Fprintf(stderr, "aggrate: comparing %d algorithms over %d instances on %d workers\n",
 		len(algoList), len(specs), experiment.Workers(*sf.workers, len(specs)))
+	ctx, cancel := batchContext(0)
+	defer cancel()
 	start := time.Now()
-	results := experiment.RunBatch(specs, *sf.workers)
+	results := experiment.RunBatch(ctx, specs, *sf.workers)
 	fmt.Fprintf(stderr, "aggrate: done in %.2fs\n", time.Since(start).Seconds())
 
+	// Aggregate skips nil entries, so an interrupted compare still prints
+	// the table over the completed instances.
 	summaries := experiment.Aggregate(results)
 	writeCompareTable(stdout, summaries)
 
 	failed := 0
 	for _, r := range results {
-		if r.Err != "" {
+		if r != nil && r.Err != "" {
 			failed++
 		}
 	}
@@ -428,6 +557,9 @@ func cmdCompare(args []string, stdout, stderr io.Writer) error {
 		if werr != nil {
 			return werr
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("compare interrupted (%v); table covers the completed instances", err)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d instance(s) failed; see the error field in the output", failed)
@@ -542,6 +674,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	engine := fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)")
 	procs := fs.String("procs", "0", "comma-separated GOMAXPROCS values to sweep (0 = NumCPU); one bench run each")
 	out := fs.String("out", "BENCH_pipeline.json", "output path ('-' = stdout)")
+	timeout := fs.Duration("timeout", 0, "cancel the sweep after this duration, writing the entries completed so far (0 = none)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -575,13 +708,22 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 		}
 	}()
 
+	ctx, cancel := batchContext(*timeout)
+	defer cancel()
 	report := BenchReport{Scenario: *preset, Seed: *seed}
+	var sweepErr error
 	for _, p := range procList {
-		run, err := benchRun(sc, nList, algoList, p, *naiveMax, *seed, *engine, stderr)
-		if err != nil {
+		run, err := benchRun(ctx, sc, nList, algoList, p, *naiveMax, *seed, *engine, stderr)
+		// A cancelled sweep still writes the completed entries (partial
+		// runs included); any other error aborts without a report.
+		if err != nil && ctx.Err() == nil {
 			return err
 		}
 		report.Runs = append(report.Runs, run)
+		if ctx.Err() != nil {
+			sweepErr = fmt.Errorf("bench interrupted (%v); report covers the completed entries", ctx.Err())
+			break
+		}
 	}
 
 	w, closeFn, err := openOut(*out, stdout)
@@ -594,12 +736,16 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	if cerr := closeFn(); werr == nil {
 		werr = cerr
 	}
-	return werr
+	if werr != nil {
+		return werr
+	}
+	return sweepErr
 }
 
 // benchRun sweeps the sizes once at the given GOMAXPROCS (0 = leave at
-// NumCPU), restoring the previous setting before returning.
-func benchRun(sc scenario.Spec, nList []int, algoList []string,
+// NumCPU), restoring the previous setting before returning. A ctx cancel
+// stops the sweep and returns the entries completed so far with ctx.Err().
+func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []string,
 	procsWanted, naiveMax int, seed uint64, engine string, stderr io.Writer) (BenchRun, error) {
 	if procsWanted > 0 {
 		prev := runtime.GOMAXPROCS(procsWanted)
@@ -608,6 +754,9 @@ func benchRun(sc scenario.Spec, nList []int, algoList []string,
 	run := BenchRun{GoMaxProcs: runtime.GOMAXPROCS(0)}
 	fmt.Fprintf(stderr, "aggrate bench: gomaxprocs=%d\n", run.GoMaxProcs)
 	for _, n := range nList {
+		if err := ctx.Err(); err != nil {
+			return run, err
+		}
 		entry := BenchEntry{N: n}
 		pts := sc.Generate(n, seed)
 
@@ -622,7 +771,10 @@ func benchRun(sc scenario.Spec, nList []int, algoList []string,
 
 		f := conflict.PowerLaw(2, 0.5)
 		t0 = time.Now()
-		g := conflict.Build(links, f)
+		g, err := conflict.BuildCtx(ctx, links, f)
+		if err != nil {
+			return run, err
+		}
 		entry.BuildSec = time.Since(t0).Seconds()
 		entry.Edges = g.Edges()
 
@@ -643,9 +795,12 @@ func benchRun(sc scenario.Spec, nList []int, algoList []string,
 			spec.Algo = algo
 			spec.VerifyEngine = engine
 			t0 = time.Now()
-			inst, res, err := experiment.NewInstance(spec)
+			inst, res, err := experiment.NewInstance(ctx, spec)
 			sec := time.Since(t0).Seconds()
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return run, cerr
+				}
 				return run, fmt.Errorf("bench pipeline algo=%s n=%d: %w", algo, n, err)
 			}
 			ab := AlgoBench{
@@ -698,6 +853,64 @@ func benchRun(sc scenario.Spec, nList []int, algoList []string,
 			n, entry.Links, entry.Edges, entry.BuildSec, entry.NaiveSec)
 	}
 	return run, nil
+}
+
+// cmdServe runs the HTTP job API (internal/service) until SIGINT: POST
+// /v1/jobs submits a spec grid, GET /v1/jobs/{id} reports progress, GET
+// /v1/jobs/{id}/stream streams results as NDJSON, DELETE /v1/jobs/{id}
+// cancels via the engine's context plumbing, GET /v1/healthz reports
+// liveness. Repeated specs are served from an LRU cache keyed by the
+// canonical spec hash, marked cache_hit in the responses.
+func cmdServe(args []string, stdout, stderr io.Writer) error {
+	fs := newFlagSet("serve", stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "per-job instance pool width (0 = GOMAXPROCS)")
+	cacheSize := fs.Int("cache", 4096, "LRU result-cache capacity in specs")
+	queueSize := fs.Int("queue", 64, "bounded job-queue length (submissions beyond it get 503)")
+	maxSpecs := fs.Int("max-specs", 10000, "largest grid a single job may expand to")
+	maxJobs := fs.Int("max-jobs", 1024, "job records retained; oldest finished jobs are evicted past this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Args())
+	}
+
+	svc := service.New(service.Config{
+		Workers:   *workers,
+		QueueSize: *queueSize,
+		CacheSize: *cacheSize,
+		MaxSpecs:  *maxSpecs,
+		MaxJobs:   *maxJobs,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is the machine-readable handshake: with
+	// --addr :0 it is how callers (CI smoke, scripts) learn the port.
+	fmt.Fprintf(stderr, "aggrate: serving on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(stderr, "aggrate: shutting down")
+		// Cancel the jobs before draining HTTP: an open /stream handler only
+		// returns once its job goes terminal, so closing the service first is
+		// what lets Shutdown finish (and stops the engine burning CPU).
+		svc.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
 }
 
 func parseScenarios(s string) ([]experiment.Scenario, error) {

@@ -8,8 +8,11 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"aggrate/internal/scheduler"
 )
@@ -29,7 +32,7 @@ func runCLI(args ...string) (stdout, stderr string, code int) {
 var timingKeys = map[string]bool{
 	"generate_sec": true, "mst_sec": true, "build_sec": true,
 	"order_sec": true, "color_sec": true, "refine_sec": true,
-	"verify_sec": true,
+	"verify_sec":      true,
 	"power_solve_sec": true, "verify_naive_sec": true, "verify_speedup": true,
 	"total_sec": true, "mean_total_sec": true, "pipeline_sec": true,
 	"naive_sec": true, "speedup": true, "gomaxprocs": true,
@@ -297,5 +300,131 @@ func TestUsagePaths(t *testing.T) {
 	}
 	if _, _, code := runCLI("run", "-h"); code != 0 {
 		t.Fatalf("run -h exited %d, want 0 (explicit help request succeeds)", code)
+	}
+}
+
+// TestRunNDJSONGolden pins the NDJSON output: one result object per line,
+// spec order, same schema as the JSON results array.
+func TestRunNDJSONGolden(t *testing.T) {
+	stdout, _, code := runCLI("run", "--scenario", "uniform", "--n", "60",
+		"--seeds", "2", "--seed", "7", "--algo", "greedy,naive", "--format", "ndjson")
+	if code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("ndjson emitted %d lines, want 4", len(lines))
+	}
+	var normalized strings.Builder
+	for _, line := range lines {
+		normalized.WriteString(normalizeJSON(t, line))
+	}
+	checkGolden(t, "run_ndjson.golden", normalized.String())
+}
+
+// TestRunTimeoutFlushesPartial: an expired --timeout cancels the batch and
+// the incremental CSV still holds every completed row — no discarded work,
+// no torn lines.
+func TestRunTimeoutFlushesPartial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "partial.csv")
+	// 400 × 2000-node instances cannot finish in 300ms.
+	_, stderr, code := runCLI("run", "--scenario", "uniform", "--n", "2000",
+		"--seeds", "400", "--format", "csv", "--out", path, "--timeout", "300ms")
+	if code != 1 {
+		t.Fatalf("timed-out run exited %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "interrupted") {
+		t.Fatalf("stderr does not report the interruption: %s", stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatalf("flushed CSV does not parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("flushed CSV has %d rows, want header plus at least one completed result", len(rows))
+	}
+	if len(rows) >= 401 {
+		t.Fatalf("timed-out run flushed all %d rows — cancellation never fired", len(rows)-1)
+	}
+	for i, row := range rows[1:] {
+		if len(row) != len(rows[0]) || row[len(row)-1] != "" {
+			t.Fatalf("row %d incomplete or failed: %v", i, row)
+		}
+	}
+}
+
+// TestRunSIGINTFlush: a real SIGINT mid-batch exits with the interruption
+// error after flushing the completed prefix — the graceful Ctrl-C path.
+func TestRunSIGINTFlush(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("no SIGINT delivery on windows")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sigint.csv")
+	type outcome struct {
+		stderr string
+		code   int
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// A batch far too large to finish: the test always interrupts it.
+		_, stderr, code := runCLI("run", "--scenario", "uniform", "--n", "3000",
+			"--seeds", "2000", "--format", "csv", "--out", path)
+		done <- outcome{stderr, code}
+	}()
+	// Wait until at least one data row is flushed, then interrupt.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(path); err == nil && bytes.Count(data, []byte("\n")) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no incremental row appeared before the interrupt")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case o := <-done:
+		if o.code != 1 || !strings.Contains(o.stderr, "interrupted") {
+			t.Fatalf("SIGINT run: code=%d stderr=%s", o.code, o.stderr)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGINT")
+	}
+	rows, err := csv.NewReader(bytes.NewReader(mustRead(t, path))).ReadAll()
+	if err != nil {
+		t.Fatalf("flushed CSV does not parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("flushed CSV has %d rows, want completed results", len(rows))
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServeFlagValidation: serve rejects positional arguments and bad
+// listen addresses before binding anything.
+func TestServeFlagValidation(t *testing.T) {
+	if _, stderr, code := runCLI("serve", "extra"); code != 1 ||
+		!strings.Contains(stderr, "no positional arguments") {
+		t.Fatalf("serve with positional arg: code=%d stderr=%s", code, stderr)
+	}
+	if _, stderr, code := runCLI("serve", "--addr", "not-an-address:::"); code != 1 {
+		t.Fatalf("serve with bad addr: code=%d stderr=%s", code, stderr)
 	}
 }

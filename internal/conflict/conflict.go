@@ -31,6 +31,7 @@ package conflict
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -196,13 +197,34 @@ const naiveCutoff = 128
 // is bit-identical (same edge set, same sorted adjacency) to BuildNaive,
 // which remains the oracle for small or degenerate inputs.
 func Build(links []geom.Link, f Func) *Graph {
+	g, _ := BuildCtx(context.Background(), links, f) // Background never cancels
+	return g
+}
+
+// BuildCtx is Build with cancellation: the parallel candidate search checks
+// ctx at block boundaries, so a cancel or deadline stops a large build
+// mid-flight. On cancellation it returns (nil, ctx.Err()) — a partial edge
+// set is never assembled into a Graph.
+func BuildCtx(ctx context.Context, links []geom.Link, f Func) (*Graph, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(links) <= naiveCutoff {
-		return BuildNaive(links, f)
+		return BuildNaive(links, f), nil
 	}
-	if g := buildBucketed(links, f); g != nil {
-		return g
+	g, err := buildBucketed(ctx, links, f)
+	if err != nil {
+		return nil, err
 	}
-	return BuildNaive(links, f)
+	if g != nil {
+		return g, nil
+	}
+	// Degenerate-input fallback: the O(n²) scan is not chunk-cancellable,
+	// so at least refuse to start it once the context is done.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return BuildNaive(links, f), nil
 }
 
 // BuildNaive constructs G_f(links) by exact pairwise testing (O(n²)). The
@@ -263,9 +285,24 @@ func clampCell(v float64, lo, hi int64) int64 {
 	return int64(v)
 }
 
-// buildBucketed is the grid-bucketed parallel construction. It returns nil
-// when the instance is degenerate (non-positive or non-finite lengths, or a
-// non-positive threshold function value), signalling Build to fall back.
+// edgeBufPool recycles the per-worker flat edge buffers (and the merged
+// buffer) across builds, so a batch of same-scale instances stops paying
+// the edge-list allocation per conflict graph. Buffers are returned after
+// fromEdges has consumed them.
+var edgeBufPool sync.Pool
+
+func getEdgeBuf() *[]edge {
+	if p, ok := edgeBufPool.Get().(*[]edge); ok {
+		*p = (*p)[:0]
+		return p
+	}
+	return new([]edge)
+}
+
+// buildBucketed is the grid-bucketed parallel construction. It returns
+// (nil, nil) when the instance is degenerate (non-positive or non-finite
+// lengths, or a non-positive threshold function value), signalling BuildCtx
+// to fall back, and (nil, ctx.Err()) when the search was cancelled.
 //
 // Correctness sketch: links are partitioned into dyadic length classes
 // [b_c, b_{c+1}) by comparison against precomputed boundaries, so class
@@ -279,14 +316,14 @@ func clampCell(v float64, lo, hi int64) int64 {
 // discovered exactly once, owned by the lower-class (ties: lower-index)
 // endpoint, collected into per-worker flat edge buffers, and scattered into
 // the CSR arrays in one counting pass — no per-vertex slices anywhere.
-func buildBucketed(links []geom.Link, f Func) *Graph {
+func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, error) {
 	n := len(links)
 	lens := make([]float64, n)
 	lmin, lmax := math.Inf(1), 0.0
 	for i, l := range links {
 		le := l.Length()
 		if !(le > 0) || math.IsInf(le, 1) {
-			return nil
+			return nil, nil
 		}
 		lens[i] = le
 		lmin = math.Min(lmin, le)
@@ -294,17 +331,17 @@ func buildBucketed(links []geom.Link, f Func) *Graph {
 	}
 	f2 := f.Eval(2)
 	if !(f2 > 0) || math.IsInf(f2, 1) {
-		return nil
+		return nil, nil
 	}
 	// Guard the radius computation: if the extreme length ratio or the
 	// largest possible search radius overflows, the cell loops below would
 	// effectively never terminate. Fall back to the exact quadratic scan.
 	ratio := lmax / lmin
 	if math.IsInf(ratio, 1) || math.IsNaN(ratio) {
-		return nil
+		return nil, nil
 	}
 	if rmax := lmax * f.Eval(ratio); math.IsInf(rmax, 1) || math.IsNaN(rmax) {
-		return nil
+		return nil, nil
 	}
 
 	// Dyadic class boundaries b_c = lmin·2^c, assigned by comparison (not
@@ -340,7 +377,7 @@ func buildBucketed(links []geom.Link, f Func) *Graph {
 		}
 		cg.size = cg.maxL * f2
 		if !(cg.size > 0) || math.IsInf(cg.size, 1) {
-			return nil
+			return nil, nil
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -357,38 +394,56 @@ func buildBucketed(links []geom.Link, f Func) *Graph {
 
 	// Parallel candidate search. Each worker appends the edges its vertices
 	// own — same-class neighbors j > i and all conflicting neighbors in
-	// strictly higher classes — to one flat per-worker buffer.
+	// strictly higher classes — to one flat per-worker buffer drawn from the
+	// shared pool (returned once the CSR scatter has consumed it).
 	var mu sync.Mutex
-	var bufs [][]edge
-	par.ForBlocks(n, 64, func(next func() (int, int, bool)) {
+	var bufs []*[]edge
+	defer func() {
+		for _, b := range bufs {
+			edgeBufPool.Put(b)
+		}
+	}()
+	err := par.ForBlocksCtx(ctx, n, 64, func(next func() (int, int, bool)) {
 		stamp := make([]int32, n)
 		for i := range stamp {
 			stamp[i] = -1
 		}
-		var buf []edge
+		bufp := getEdgeBuf()
+		buf := *bufp
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for i := lo; i < hi; i++ {
 				searchLink(links, lens, class, grids, f, int32(i), stamp, &buf)
 			}
 		}
+		*bufp = buf
 		mu.Lock()
-		bufs = append(bufs, buf)
+		bufs = append(bufs, bufp)
 		mu.Unlock()
 	})
+	if err != nil {
+		return nil, err
+	}
 	var edges []edge
 	if len(bufs) == 1 {
-		edges = bufs[0]
+		edges = *bufs[0]
 	} else {
 		total := 0
 		for _, b := range bufs {
-			total += len(b)
+			total += len(*b)
 		}
-		edges = make([]edge, 0, total)
+		mergep := getEdgeBuf()
+		merge := *mergep
+		if cap(merge) < total {
+			merge = make([]edge, 0, total)
+		}
 		for _, b := range bufs {
-			edges = append(edges, b...)
+			merge = append(merge, *b...)
 		}
+		*mergep = merge
+		bufs = append(bufs, mergep)
+		edges = merge
 	}
-	return fromEdges(links, f, edges, true)
+	return fromEdges(links, f, edges, true), nil
 }
 
 // searchLink appends to *out every edge (i, j) that link i owns.

@@ -1,6 +1,7 @@
 package conflict
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -9,6 +10,14 @@ import (
 	"aggrate/internal/mst"
 	"aggrate/internal/rng"
 )
+
+// buildBucketedBG is the test-side shim over the context-aware bucketed
+// build: Background never cancels, so the error leg is dead and the old
+// nil-means-fallback contract is preserved for the parity suites.
+func buildBucketedBG(links []geom.Link, f Func) *Graph {
+	g, _ := buildBucketed(context.Background(), links, f)
+	return g
+}
 
 // mstLinks generates the canonical test workload: the convergecast links of
 // a uniform-random pointset's MST.
@@ -92,7 +101,7 @@ func TestBucketedMatchesNaive(t *testing.T) {
 	for _, tc := range cases {
 		for _, f := range testFuncs() {
 			naive := BuildNaive(tc.links, f)
-			bucketed := buildBucketed(tc.links, f)
+			bucketed := buildBucketedBG(tc.links, f)
 			if bucketed == nil {
 				t.Fatalf("%s/%s: bucketed build fell back unexpectedly", tc.name, f.Name)
 			}
@@ -183,7 +192,7 @@ func TestBucketedFasterAt10k(t *testing.T) {
 	f := PowerLaw(2, 0.5)
 
 	start := time.Now()
-	bucketed := buildBucketed(links, f)
+	bucketed := buildBucketedBG(links, f)
 	bucketedSec := time.Since(start).Seconds()
 	if bucketed == nil {
 		t.Fatal("bucketed build fell back unexpectedly")
@@ -206,7 +215,7 @@ func BenchmarkBuildBucketed10k(b *testing.B) {
 	f := PowerLaw(2, 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if g := buildBucketed(links, f); g == nil {
+		if g := buildBucketedBG(links, f); g == nil {
 			b.Fatal("fell back")
 		}
 	}
@@ -226,7 +235,7 @@ func BenchmarkBuildBucketed50k(b *testing.B) {
 	f := PowerLaw(2, 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if g := buildBucketed(links, f); g == nil {
+		if g := buildBucketedBG(links, f); g == nil {
 			b.Fatal("fell back")
 		}
 	}

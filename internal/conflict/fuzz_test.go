@@ -96,7 +96,7 @@ func FuzzBuildMatchesNaive(f *testing.F) {
 		}
 		for _, fn := range fuzzFuncs() {
 			naive := BuildNaive(links, fn)
-			bucketed := buildBucketed(links, fn)
+			bucketed := buildBucketedBG(links, fn)
 			if bucketed == nil {
 				continue // degenerate input: Build falls back to naive
 			}
@@ -129,7 +129,7 @@ func TestFuzzSeedsDirectly(t *testing.T) {
 		}
 		for _, fn := range fuzzFuncs() {
 			naive := BuildNaive(links, fn)
-			bucketed := buildBucketed(links, fn)
+			bucketed := buildBucketedBG(links, fn)
 			if bucketed == nil {
 				t.Fatalf("%s: seed unexpectedly degenerate", fn.Name)
 			}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -63,7 +64,7 @@ func TestEngineMatchesNaive(t *testing.T) {
 						spec.Graph = GraphArbitrary
 					}
 					label := scName + "/" + algo + "/" + pw
-					inst, _, err := NewInstance(spec)
+					inst, _, err := NewInstance(context.Background(), spec)
 					if err != nil {
 						// Some near-threshold cells legitimately exhaust the
 						// escalation budget; the parity property still applies
@@ -86,8 +87,8 @@ func TestVerifyEngineSpec(t *testing.T) {
 	fastSpec := NewSpec(sc, 300, 9)
 	naiveSpec := fastSpec
 	naiveSpec.VerifyEngine = schedule.EngineNaive
-	rf := Run(fastSpec)
-	rn := Run(naiveSpec)
+	rf := Run(context.Background(), fastSpec)
+	rn := Run(context.Background(), naiveSpec)
 	if rf.Err != "" || rn.Err != "" {
 		t.Fatalf("runs failed: fast=%q naive=%q", rf.Err, rn.Err)
 	}
@@ -107,7 +108,7 @@ func TestVerifyEngineSpec(t *testing.T) {
 
 	bad := fastSpec
 	bad.VerifyEngine = "warp"
-	if r := Run(bad); r.Err == "" || !strings.Contains(r.Err, "unknown verify engine") {
+	if r := Run(context.Background(), bad); r.Err == "" || !strings.Contains(r.Err, "unknown verify engine") {
 		t.Fatalf("bad engine accepted: %q", r.Err)
 	}
 }
@@ -120,7 +121,7 @@ func TestGlobalPowerSolveCache(t *testing.T) {
 	spec := NewSpec(sc, 200, 5)
 	spec.Power = PowerGlobal
 	spec.Graph = GraphArbitrary
-	inst, res, err := NewInstance(spec)
+	inst, res, err := NewInstance(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("NewInstance: %v", err)
 	}
@@ -175,7 +176,7 @@ func FuzzEngineMatchesNaive(f *testing.F) {
 		if spec.Power == PowerGlobal {
 			spec.Graph = GraphArbitrary
 		}
-		inst, _, err := NewInstance(spec)
+		inst, _, err := NewInstance(context.Background(), spec)
 		if err != nil && (inst == nil || inst.Schedule == nil) {
 			t.Skip() // invalid spec or pipeline failure before scheduling
 		}
@@ -194,7 +195,7 @@ func BenchmarkPipeline(b *testing.B) {
 			}
 			for i := 0; i < b.N; i++ {
 				spec := NewSpec(sc, n, 1)
-				if res := Run(spec); res.Err != "" {
+				if res := Run(context.Background(), spec); res.Err != "" {
 					b.Fatal(res.Err)
 				}
 			}
@@ -209,7 +210,7 @@ func BenchmarkVerifyEngine(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	inst, _, err := NewInstance(NewSpec(sc, 10000, 1))
+	inst, _, err := NewInstance(context.Background(), NewSpec(sc, 10000, 1))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,6 +14,10 @@
 package experiment
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -120,6 +124,31 @@ func NewSpec(sc Scenario, n int, seed uint64) Spec {
 		MaxGammaRetries: 8,
 		GammaStep:       1.5,
 	}
+}
+
+// Normalized returns the spec with every defaultable field filled in — the
+// exact spec the pipeline runs. Two specs with equal Normalized forms
+// produce identical results, which is what makes SpecKey a sound cache key.
+func (s Spec) Normalized() Spec { return s.normalized() }
+
+// SpecKey returns a canonical content hash of the normalized spec:
+// scenario preset, size, seed, sink, power, graph, algo, γ/δ, the SINR
+// constants, refine/verify switches, engine, and the escalation knobs.
+// Specs that normalize identically share a key, so a result cache keyed by
+// SpecKey serves repeated grids without recomputation. Hand-built scenarios
+// (NamedScenario) are distinguished only by their name; callers caching
+// across processes must use registered presets.
+func SpecKey(s Spec) string {
+	n := s.normalized()
+	name := ""
+	if n.Scenario != nil {
+		name = n.Scenario.PresetName()
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d|%s|%s|%s|%g|%g|%g|%g|%g|%g|%t|%t|%s|%d|%g",
+		name, n.N, n.Seed, n.Sink, n.Power, n.Graph, n.Algo, n.Gamma, n.Delta,
+		n.SINR.Alpha, n.SINR.Beta, n.SINR.Noise, n.SINR.Epsilon,
+		n.Refine, n.Verify, n.VerifyEngine, n.MaxGammaRetries, n.GammaStep)))
+	return hex.EncodeToString(h[:16])
 }
 
 func (s Spec) normalized() Spec {
@@ -343,9 +372,19 @@ type Result struct {
 const marginClamp = 1e30
 
 // Run executes the full pipeline for one spec and reduces it to metrics.
-// Failures are reported in Result.Err rather than aborting a batch.
-func Run(spec Spec) *Result {
-	_, res, err := NewInstance(spec)
+// Failures are reported in Result.Err rather than aborting a batch. A ctx
+// cancel or deadline stops the pipeline at the next stage, chunk, or slot
+// boundary; the returned Result then carries the context error.
+func Run(ctx context.Context, spec Spec) *Result {
+	res, _ := runWS(ctx, spec, nil)
+	return res
+}
+
+// runWS is Run with an optional per-worker workspace, returning the raw
+// pipeline error alongside (so batch runners can distinguish a cancelled
+// instance from a failed one).
+func runWS(ctx context.Context, spec Spec, ws *Workspace) (*Result, error) {
+	_, res, err := newInstance(ctx, spec, ws)
 	if err != nil {
 		if res == nil {
 			name := ""
@@ -360,19 +399,39 @@ func Run(spec Spec) *Result {
 		}
 		res.Err = err.Error()
 	}
-	return res
+	return res, err
 }
 
 // NewInstance executes the full pipeline for one spec, returning both the
 // materialized artifacts and the metric record. On error the partially
-// filled Result (if any) is returned alongside.
-func NewInstance(spec Spec) (*Instance, *Result, error) {
+// filled Result (if any) is returned alongside. Cancellation: see Run.
+func NewInstance(ctx context.Context, spec Spec) (*Instance, *Result, error) {
+	return newInstance(ctx, spec, nil)
+}
+
+// Workspace owns the per-worker scratch a batch runner reuses across
+// instances: the coloring workspace today (conflict edge buffers and verify
+// scratch recycle through package-level pools in their own layers). Not
+// safe for concurrent use.
+type Workspace struct {
+	coloring *coloring.Workspace
+}
+
+// NewWorkspace returns an empty Workspace; buffers grow on first use.
+func NewWorkspace() *Workspace {
+	return &Workspace{coloring: coloring.NewWorkspace()}
+}
+
+func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Result, error) {
 	spec = spec.normalized()
 	if spec.Scenario == nil {
 		return nil, nil, fmt.Errorf("experiment: spec has no scenario")
 	}
 	if spec.N < 2 {
 		return nil, nil, fmt.Errorf("experiment: need n >= 2, got %d", spec.N)
+	}
+	if spec.Sink < 0 || spec.Sink >= spec.N {
+		return nil, nil, fmt.Errorf("experiment: sink %d out of range [0, %d)", spec.Sink, spec.N)
 	}
 	if err := spec.SINR.Validate(); err != nil {
 		return nil, nil, err
@@ -406,16 +465,21 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 		res.Timings.VerifyExactPairsFrac = engStats.ExactPairsFrac()
 	}()
 
+	// Stage-boundary cancellation points: the stages themselves (conflict
+	// build, verification) also check ctx at chunk/slot granularity, so a
+	// cancel stops an instance within one chunk of work.
+	if err := ctx.Err(); err != nil {
+		return nil, res, err
+	}
 	t0 := time.Now()
 	pts := spec.Scenario.Generate(spec.N, spec.Seed)
 	res.Timings.GenerateSec = time.Since(t0).Seconds()
 
-	sink := spec.Sink
-	if sink < 0 || sink >= len(pts) {
-		sink = 0
+	if err := ctx.Err(); err != nil {
+		return nil, res, err
 	}
 	t0 = time.Now()
-	tree, err := mst.NewMSTTree(pts, sink)
+	tree, err := mst.NewMSTTreeCtx(ctx, pts, spec.Sink)
 	if err != nil {
 		return nil, res, fmt.Errorf("experiment: mst: %w", err)
 	}
@@ -448,9 +512,16 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 	inst := &Instance{Spec: spec, Points: pts, Tree: tree, pf: pf}
 	gamma := spec.Gamma
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return inst, res, err
+		}
+		cfg := spec.config(gamma)
+		if ws != nil {
+			cfg.WS = ws.coloring
+		}
 		// Stage timings accumulate across escalation attempts so that they
 		// still sum to TotalSec when verification forces a rebuild.
-		sched, diag, err := strat.Schedule(links, spec.config(gamma))
+		sched, diag, err := strat.Schedule(ctx, links, cfg)
 		if err != nil {
 			return nil, res, err
 		}
@@ -486,12 +557,18 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 			margin, verr = sched.VerifySINRNaive(spec.SINR, pf)
 		} else {
 			var vst schedule.VerifyStats
-			margin, vst, verr = sched.VerifySINRFast(spec.SINR, pf)
+			margin, vst, verr = sched.VerifySINRCtx(ctx, spec.SINR, pf)
 			engStats.Add(vst.Engine)
 			res.Timings.PowerSolveSec += vst.PowerSec
 			inst.VerifyStats = vst
 		}
 		res.Timings.VerifySec += time.Since(t0).Seconds()
+		if verr != nil && ctx.Err() != nil {
+			// Cancelled mid-verification: no verdict was reached, so this is
+			// not a feasibility failure — surface the context error rather
+			// than escalating γ.
+			return inst, res, ctx.Err()
+		}
 		if verr == nil {
 			inst.Margin = margin
 			res.Margin = math.Min(margin, marginClamp)
@@ -518,29 +595,69 @@ func NewInstance(spec Spec) (*Instance, *Result, error) {
 	return inst, res, nil
 }
 
-// RunBatch executes the specs over a pool of workers goroutines
-// (GOMAXPROCS when workers <= 0) and returns results in spec order. Every
-// instance is seeded independently, so the output is deterministic in the
-// specs regardless of worker count or scheduling.
-func RunBatch(specs []Spec, workers int) []*Result {
-	workers = Workers(workers, len(specs))
+// Runner executes spec batches over a worker pool, emitting each Result to
+// the Sink as it completes. Each worker owns one reusable Workspace that
+// survives across the instances it runs, so batch throughput stops paying
+// the per-instance scratch allocation (coloring buffers here; conflict edge
+// buffers and verification scratch recycle through their packages' pools).
+type Runner struct {
+	// Workers is the pool width (<= 0 means GOMAXPROCS, clamped to the
+	// batch size).
+	Workers int
+	// Sink, when non-nil, receives (spec index, result) for every instance
+	// that ran to completion — success or failure, but never an instance
+	// aborted by the batch context. Calls are serialized (no internal
+	// locking needed) but arrive in completion order, not spec order;
+	// callers needing deterministic output must reorder by index.
+	Sink func(i int, r *Result)
+}
+
+// Run executes the specs and returns results in spec order — deterministic
+// in the specs regardless of worker count or scheduling, since every
+// instance is seeded independently. On cancellation it stops claiming new
+// specs, lets in-flight instances unwind at their next chunk boundary, and
+// returns ctx.Err() with the partial result set: entries for instances that
+// never ran (or were aborted mid-flight) are nil.
+func (r *Runner) Run(ctx context.Context, specs []Spec) ([]*Result, error) {
+	workers := Workers(r.Workers, len(specs))
 	out := make([]*Result, len(specs))
 	var cursor atomic.Int64
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			ws := NewWorkspace()
+			for ctx.Err() == nil {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(specs) {
 					return
 				}
-				out[i] = Run(specs[i])
+				res, err := runWS(ctx, specs[i], ws)
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					// Aborted mid-instance: not a completed result.
+					return
+				}
+				mu.Lock()
+				out[i] = res
+				if r.Sink != nil {
+					r.Sink(i, res)
+				}
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	return out, ctx.Err()
+}
+
+// RunBatch executes the specs over a pool of workers goroutines (GOMAXPROCS
+// when workers <= 0) and returns results in spec order. On cancellation the
+// returned slice is partial — nil entries mark instances that never
+// completed. Streaming consumers should use Runner directly.
+func RunBatch(ctx context.Context, specs []Spec, workers int) []*Result {
+	out, _ := (&Runner{Workers: workers}).Run(ctx, specs)
 	return out
 }
 

@@ -1,9 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"encoding/json"
 	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"aggrate/internal/coloring"
 	"aggrate/internal/geom"
@@ -27,7 +32,7 @@ func uniformScenario(t *testing.T) Scenario {
 // structure, and the SINR condition.
 func TestPipelineEndToEnd(t *testing.T) {
 	spec := NewSpec(uniformScenario(t), 500, 1)
-	inst, res, err := NewInstance(spec)
+	inst, res, err := NewInstance(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("NewInstance: %v", err)
 	}
@@ -64,7 +69,7 @@ func TestPowerSchemes(t *testing.T) {
 		if pw == PowerGlobal {
 			spec.Graph = GraphArbitrary
 		}
-		res := Run(spec)
+		res := Run(context.Background(), spec)
 		if res.Err != "" {
 			t.Fatalf("power=%s: %s", pw, res.Err)
 		}
@@ -79,7 +84,7 @@ func TestPowerSchemes(t *testing.T) {
 func TestRefinePath(t *testing.T) {
 	spec := NewSpec(uniformScenario(t), 200, 3)
 	spec.Refine = true
-	inst, res, err := NewInstance(spec)
+	inst, res, err := NewInstance(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("NewInstance: %v", err)
 	}
@@ -98,8 +103,8 @@ func TestBatchDeterministicAcrossWorkers(t *testing.T) {
 	if len(specs) != 24 {
 		t.Fatalf("Expand produced %d specs, want 24", len(specs))
 	}
-	r1 := RunBatch(specs, 1)
-	r4 := RunBatch(specs, 4)
+	r1 := RunBatch(context.Background(), specs, 1)
+	r4 := RunBatch(context.Background(), specs, 4)
 	// Wall-clock timings legitimately vary; everything else must not.
 	for _, rs := range [][]*Result{r1, r4} {
 		for _, r := range rs {
@@ -119,7 +124,7 @@ func TestAggregate(t *testing.T) {
 	sc := uniformScenario(t)
 	base := NewSpec(sc, 0, 0)
 	specs := Expand([]Scenario{sc}, []int{100}, 3, []string{PowerMean}, nil, base)
-	results := RunBatch(specs, 0)
+	results := RunBatch(context.Background(), specs, 0)
 	results = append(results, &Result{Scenario: "uniform", N: 100, Power: PowerMean,
 		Graph: GraphOblivious, Algo: scheduler.Greedy, Err: "boom"})
 	sums := Aggregate(results)
@@ -143,7 +148,7 @@ func TestResultJSONEncodable(t *testing.T) {
 		return []geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}}
 	}}
 	spec := NewSpec(sc, 2, 1)
-	res := Run(spec)
+	res := Run(context.Background(), spec)
 	if res.Err != "" {
 		t.Fatalf("pair instance failed: %s", res.Err)
 	}
@@ -157,17 +162,17 @@ func TestResultJSONEncodable(t *testing.T) {
 
 // TestSpecErrors: malformed specs surface as errors, not panics.
 func TestSpecErrors(t *testing.T) {
-	if res := Run(Spec{}); res.Err == "" {
+	if res := Run(context.Background(), Spec{}); res.Err == "" {
 		t.Fatal("empty spec did not error")
 	}
 	spec := NewSpec(uniformScenario(t), 100, 1)
 	spec.Graph = "bogus"
-	if res := Run(spec); res.Err == "" {
+	if res := Run(context.Background(), spec); res.Err == "" {
 		t.Fatal("bogus graph kind did not error")
 	}
 	spec = NewSpec(uniformScenario(t), 100, 1)
 	spec.Power = "bogus"
-	if res := Run(spec); res.Err == "" {
+	if res := Run(context.Background(), spec); res.Err == "" {
 		t.Fatal("bogus power scheme did not error")
 	}
 }
@@ -176,7 +181,7 @@ func TestSpecErrors(t *testing.T) {
 // standalone schedule verifier on a second instance for good measure.
 func TestValidateSchedule(t *testing.T) {
 	spec := NewSpec(uniformScenario(t), 300, 9)
-	inst, _, err := NewInstance(spec)
+	inst, _, err := NewInstance(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +203,7 @@ func TestAllAlgosVerify(t *testing.T) {
 			spec := NewSpec(sc, 250, 11)
 			spec.Graph = gk
 			spec.Algo = algo
-			res := Run(spec)
+			res := Run(context.Background(), spec)
 			if res.Err != "" {
 				t.Fatalf("graph=%s algo=%s: %s", gk, algo, res.Err)
 			}
@@ -223,7 +228,7 @@ func TestAllAlgosVerify(t *testing.T) {
 func TestUnknownAlgoErrors(t *testing.T) {
 	spec := NewSpec(uniformScenario(t), 100, 1)
 	spec.Algo = "bogus"
-	if res := Run(spec); res.Err == "" {
+	if res := Run(context.Background(), spec); res.Err == "" {
 		t.Fatal("bogus algo did not error")
 	}
 }
@@ -235,7 +240,7 @@ func TestAggregateSplitsByAlgo(t *testing.T) {
 	base := NewSpec(sc, 0, 0)
 	specs := Expand([]Scenario{sc}, []int{120}, 2, []string{PowerMean},
 		[]string{scheduler.Greedy, scheduler.Naive}, base)
-	sums := Aggregate(RunBatch(specs, 0))
+	sums := Aggregate(RunBatch(context.Background(), specs, 0))
 	if len(sums) != 2 {
 		t.Fatalf("Aggregate produced %d groups, want 2 (one per algo)", len(sums))
 	}
@@ -259,7 +264,7 @@ func TestOverflowDiversityStaysFinite(t *testing.T) {
 	}}
 	spec := NewSpec(sc, 3, 1)
 	spec.Verify = false // powers under/overflow at these scales; metrics are the point
-	_, res, err := NewInstance(spec)
+	_, res, err := NewInstance(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("NewInstance: %v", err)
 	}
@@ -304,5 +309,172 @@ func TestOverflowDiversityStaysFinite(t *testing.T) {
 	}
 	if _, err := json.Marshal(sums); err != nil {
 		t.Fatalf("two-seed overflow summary not JSON-encodable: %v", err)
+	}
+}
+
+// TestSinkValidation: an out-of-range Spec.Sink is a validation error like
+// the other spec checks — never silently clamped to 0.
+func TestSinkValidation(t *testing.T) {
+	sc := uniformScenario(t)
+	for _, sink := range []int{-1, 100, 101} {
+		spec := NewSpec(sc, 100, 1)
+		spec.Sink = sink
+		_, _, err := NewInstance(context.Background(), spec)
+		if err == nil || !strings.Contains(err.Error(), "sink") {
+			t.Fatalf("sink=%d: err=%v, want a sink range error", sink, err)
+		}
+	}
+	// Every in-range sink (not just 0) is accepted and rooted correctly.
+	spec := NewSpec(sc, 100, 1)
+	spec.Sink = 99
+	inst, res, err := NewInstance(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("sink=99: %v", err)
+	}
+	if res.Links != 99 || inst.Tree.Sink != 99 {
+		t.Fatalf("sink=99: links=%d sink=%d", res.Links, inst.Tree.Sink)
+	}
+}
+
+// TestRunnerStreamsInCompletionOrder: the sink sees every result exactly
+// once, carrying the same pointers the ordered slice returns.
+func TestRunnerStreamsInCompletionOrder(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	specs := Expand([]Scenario{sc}, []int{60, 90}, 3, nil, nil, base)
+	seen := make(map[int]*Result)
+	r := Runner{Workers: 4, Sink: func(i int, res *Result) {
+		if _, dup := seen[i]; dup {
+			t.Errorf("sink saw index %d twice", i)
+		}
+		seen[i] = res
+	}}
+	out, err := r.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("Runner.Run: %v", err)
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("sink saw %d results, want %d", len(seen), len(specs))
+	}
+	for i, res := range out {
+		if res == nil || seen[i] != res {
+			t.Fatalf("index %d: ordered result and sink emission diverge", i)
+		}
+		if res.Err != "" {
+			t.Fatalf("index %d failed: %s", i, res.Err)
+		}
+	}
+}
+
+// TestRunnerWorkspaceReuseDeterministic: pooled per-worker workspaces must
+// not leak state between instances — a Runner batch matches fresh
+// single-instance runs field for field.
+func TestRunnerWorkspaceReuseDeterministic(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	// Mixed algos and sizes so one worker's workspace crosses strategies.
+	specs := Expand([]Scenario{sc}, []int{80, 140}, 2, []string{PowerMean},
+		[]string{scheduler.Greedy, scheduler.LengthClass, scheduler.DSatur}, base)
+	pooled, err := (&Runner{Workers: 1}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		fresh := Run(context.Background(), spec)
+		fresh.Timings, pooled[i].Timings = Timings{}, Timings{}
+		fj, _ := json.Marshal(fresh)
+		pj, _ := json.Marshal(pooled[i])
+		if string(fj) != string(pj) {
+			t.Fatalf("spec %d: pooled result differs from fresh run\npooled: %s\nfresh:  %s", i, pj, fj)
+		}
+	}
+}
+
+// TestBatchCancellation: a mid-batch cancel returns promptly with a
+// partial, well-formed result set and no leaked goroutines.
+func TestBatchCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	// Enough work that the batch cannot finish before the cancel fires.
+	specs := Expand([]Scenario{sc}, []int{4000}, 32, nil, nil, base)
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed atomic.Int64
+	r := Runner{Workers: 2, Sink: func(i int, res *Result) {
+		if completed.Add(1) == 1 {
+			cancel()
+		}
+	}}
+	start := time.Now()
+	out, err := r.Run(ctx, specs)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	// Prompt return: the in-flight instances stop at the next chunk/slot
+	// boundary. One 4000-node instance takes ~100ms here; 5s of slack keeps
+	// slow CI honest without flakes.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled batch took %v to return", elapsed)
+	}
+	got := 0
+	for _, res := range out {
+		if res == nil {
+			continue // never ran — the partial set's well-formed gap marker
+		}
+		got++
+		if res.Err != "" {
+			t.Fatalf("completed result carries error %q", res.Err)
+		}
+	}
+	if got == 0 || got >= len(specs) {
+		t.Fatalf("partial set has %d/%d results, want strictly between", got, len(specs))
+	}
+	// No leaked goroutines: workers exit on cancel; par's pool goroutines
+	// are per-call and unwind with their callers.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSpecKeyCanonical: keys are stable under normalization (zero-valued
+// defaultable fields hash like their defaults) and distinct across every
+// cache-relevant axis.
+func TestSpecKeyCanonical(t *testing.T) {
+	sc := uniformScenario(t)
+	full := NewSpec(sc, 500, 3)
+	// Verify is a plain bool (false is meaningful, not a defaultable zero),
+	// so the sparse spec states it; everything else normalizes.
+	sparse := Spec{Scenario: sc, N: 500, Seed: 3, Verify: true}
+	if SpecKey(full) != SpecKey(sparse) {
+		t.Fatal("normalized and sparse specs hash differently")
+	}
+	mutations := []func(*Spec){
+		func(s *Spec) { s.N = 501 },
+		func(s *Spec) { s.Seed = 4 },
+		func(s *Spec) { s.Sink = 1 },
+		func(s *Spec) { s.Power = PowerGlobal },
+		func(s *Spec) { s.Graph = GraphArbitrary },
+		func(s *Spec) { s.Algo = scheduler.DSatur },
+		func(s *Spec) { s.Gamma = 3 },
+		func(s *Spec) { s.SINR.Alpha = 4 },
+		func(s *Spec) { s.Verify = false },
+		func(s *Spec) { s.VerifyEngine = "naive" },
+	}
+	base := SpecKey(full)
+	for i, mut := range mutations {
+		s := full
+		mut(&s)
+		if SpecKey(s) == base {
+			t.Fatalf("mutation %d did not change the spec key", i)
+		}
 	}
 }

@@ -18,6 +18,7 @@
 package mst
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -140,14 +141,23 @@ const emstCutoff = 256
 // ties cannot produce a non-minimum tree. Degenerate inputs (zero extent,
 // non-finite coordinates) fall back to Prim.
 func EMST(pts []geom.Point) []Edge {
+	edges, _ := EMSTCtx(context.Background(), pts) // Background never cancels
+	return edges
+}
+
+// EMSTCtx is EMST with cancellation, checked once per Borůvka round
+// (components halve per round, so the first round — the bulk of the work —
+// is the longest uncancellable window). On cancellation it returns
+// (nil, ctx.Err()); a partial edge set is never returned.
+func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 	n := len(pts)
 	if n < emstCutoff {
-		return Prim(pts)
+		return Prim(pts), nil
 	}
 	lo, hi := geom.BoundingBox(pts)
 	ext := math.Max(hi.X-lo.X, hi.Y-lo.Y)
 	if !(ext > 0) || math.IsInf(ext, 1) {
-		return Prim(pts)
+		return Prim(pts), nil
 	}
 	// Base grid at ~1 point per cell.
 	d0 := 1
@@ -208,6 +218,9 @@ func EMST(pts []geom.Point) []Edge {
 		return av < bv
 	}
 	for len(edges) < n-1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		roots = roots[:0]
 		for i := 0; i < n; i++ {
 			if r := dsu.Find(i); r == i {
@@ -284,10 +297,10 @@ func EMST(pts []geom.Point) []Edge {
 			// No component found an outgoing edge (NaN coordinates or a
 			// bound inversion): the dense oracle handles what the grid
 			// cannot.
-			return Prim(pts)
+			return Prim(pts), nil
 		}
 	}
-	return edges
+	return edges, nil
 }
 
 func minmax32(a, b int32) (int32, int32) {
@@ -426,6 +439,16 @@ func Build(pts []geom.Point, edges []Edge, sink int) (*Tree, error) {
 // toward sink.
 func NewMSTTree(pts []geom.Point, sink int) (*Tree, error) {
 	return Build(pts, EMST(pts), sink)
+}
+
+// NewMSTTreeCtx is NewMSTTree with cancellation of the Borůvka rounds; see
+// EMSTCtx.
+func NewMSTTreeCtx(ctx context.Context, pts []geom.Point, sink int) (*Tree, error) {
+	edges, err := EMSTCtx(ctx, pts)
+	if err != nil {
+		return nil, err
+	}
+	return Build(pts, edges, sink)
 }
 
 // N returns the number of nodes.

@@ -7,9 +7,15 @@
 //
 // Every call also does work on the calling goroutine, so progress never
 // depends on slot availability and exhaustion cannot deadlock.
+//
+// ForCtx and ForBlocksCtx are the cancellation-aware variants: they check
+// ctx.Err() at chunk boundaries, stop handing out further work once the
+// context is done, and report the context error. For and ForBlocks remain
+// the unconditional entry points for callers with nothing to cancel.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,8 +32,18 @@ var slots = make(chan struct{}, max(runtime.GOMAXPROCS(0), runtime.NumCPU()))
 // contiguous chunks. Chunks beyond the first run on extra goroutines when
 // global slots are free and inline otherwise.
 func For(n int, fn func(i int)) {
+	_ = ForCtx(context.Background(), n, fn)
+}
+
+// ForCtx is For with cancellation: ctx.Err() is checked once per chunk, so
+// a cancel stops the iteration within one chunk of work per active worker.
+// Chunks already dispatched when the context fires still run to their
+// boundary; fn is never invoked for a chunk whose check observed the
+// cancellation. Returns ctx.Err() — callers must treat the visited set as
+// incomplete when it is non-nil.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	p := runtime.GOMAXPROCS(0)
 	if p > n {
@@ -36,6 +52,9 @@ func For(n int, fn func(i int)) {
 	chunk := (n + p - 1) / p
 	var wg sync.WaitGroup
 	for lo := chunk; lo < n; lo += chunk {
+		if ctx.Err() != nil {
+			break
+		}
 		hi := lo + chunk
 		if hi > n {
 			hi = n
@@ -45,6 +64,9 @@ func For(n int, fn func(i int)) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer func() { <-slots; wg.Done() }()
+				if ctx.Err() != nil {
+					return
+				}
 				for i := lo; i < hi; i++ {
 					fn(i)
 				}
@@ -55,10 +77,13 @@ func For(n int, fn func(i int)) {
 			}
 		}
 	}
-	for i := 0; i < chunk && i < n; i++ {
-		fn(i)
+	if ctx.Err() == nil {
+		for i := 0; i < chunk && i < n; i++ {
+			fn(i)
+		}
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // ForBlocks dispatches the blocks [k·block, min((k+1)·block, n)) of the
@@ -70,14 +95,25 @@ func For(n int, fn func(i int)) {
 //
 //	for lo, hi, ok := next(); ok; lo, hi, ok = next() { ... }
 func ForBlocks(n, block int, worker func(next func() (lo, hi int, ok bool))) {
+	_ = ForBlocksCtx(context.Background(), n, block, worker)
+}
+
+// ForBlocksCtx is ForBlocks with cancellation: the shared cursor stops
+// handing out blocks once ctx is done, so every worker returns within one
+// block of the cancel. Returns ctx.Err() — a non-nil return means an
+// unknown suffix of the range was never dispatched.
+func ForBlocksCtx(ctx context.Context, n, block int, worker func(next func() (lo, hi int, ok bool))) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if block < 1 {
 		block = 1
 	}
 	var cursor atomic.Int64
 	next := func() (int, int, bool) {
+		if ctx.Err() != nil {
+			return 0, 0, false
+		}
 		lo := int(cursor.Add(int64(block))) - block
 		if lo >= n {
 			return 0, 0, false
@@ -103,4 +139,5 @@ func ForBlocks(n, block int, worker func(next func() (lo, hi int, ok bool))) {
 	}
 	worker(next)
 	wg.Wait()
+	return ctx.Err()
 }

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -52,6 +54,78 @@ func TestNestedDoesNotDeadlock(t *testing.T) {
 	})
 	if got := total.Load(); got != 800 {
 		t.Fatalf("nested total = %d, want 800", got)
+	}
+}
+
+// TestForCtxCompletesUncancelled: with a live context the ctx variants are
+// exactly For/ForBlocks — every index visited once, nil error.
+func TestForCtxCompletesUncancelled(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		visits := make([]int32, n)
+		if err := ForCtx(context.Background(), n, func(i int) { atomic.AddInt32(&visits[i], 1) }); err != nil {
+			t.Fatalf("n=%d: ForCtx returned %v", n, err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, v)
+			}
+		}
+	}
+	var count atomic.Int64
+	if err := ForBlocksCtx(context.Background(), 100, 7, func(next func() (int, int, bool)) {
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			count.Add(int64(hi - lo))
+		}
+	}); err != nil || count.Load() != 100 {
+		t.Fatalf("ForBlocksCtx: err=%v count=%d, want nil and 100", err, count.Load())
+	}
+}
+
+// TestForCtxPreCancelled: an already-cancelled context runs nothing and
+// reports the context error.
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := ForCtx(ctx, 50, func(int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForCtx on cancelled ctx returned %v", err)
+	}
+	// The first chunk runs on the calling goroutine after the dispatch loop's
+	// check, which observes the cancellation — nothing may run.
+	if ran {
+		t.Fatal("ForCtx ran work under a pre-cancelled context")
+	}
+	if err := ForBlocksCtx(ctx, 50, 4, func(next func() (int, int, bool)) {
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			ran = true
+			_ = lo + hi
+		}
+	}); !errors.Is(err, context.Canceled) || ran {
+		t.Fatalf("ForBlocksCtx on cancelled ctx: err=%v ran=%v", err, ran)
+	}
+}
+
+// TestForBlocksCtxStopsMidway: cancelling from inside a block stops the
+// cursor — the remaining blocks are never handed out.
+func TestForBlocksCtxStopsMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var blocks atomic.Int64
+	err := ForBlocksCtx(ctx, 1000, 1, func(next func() (int, int, bool)) {
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			_ = lo + hi
+			if blocks.Add(1) == 3 {
+				cancel()
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Every active worker may finish the block it holds, but no new blocks
+	// are dispatched after the cancel; with the worker pool bounded by
+	// GOMAXPROCS this stays far below the full range.
+	if got := blocks.Load(); got >= 1000 {
+		t.Fatalf("all %d blocks ran despite mid-flight cancel", got)
 	}
 }
 

@@ -10,7 +10,11 @@
 //   - Grid:     a jittered lattice — near-equal link lengths, the
 //     low-diversity extreme where χ(G_γ) alone governs;
 //   - Annulus:  a ring with log-uniform radial density, producing
-//     exponentially spread scales (large log Δ at moderate n).
+//     exponentially spread scales (large log Δ at moderate n);
+//   - Hotspot:  one Gaussian hotspot — dense core, sparse uniform fringe —
+//     the single-cell-tower density gradient;
+//   - MultiHotspot: a mixture of hotspots at geometrically spread widths
+//     plus a fringe, the multi-scale urban deployment.
 package scenario
 
 import (
@@ -191,6 +195,104 @@ func (a Annulus) Generate(n int, r *rng.RNG) []geom.Point {
 	return dedupe(pts, r, rmin)
 }
 
+// Hotspot is a single Gaussian hotspot in the square [0, Side]²: a fraction
+// 1-Fringe of the points form a dense Gaussian core of standard deviation
+// Sigma around the center, and the remaining Fringe fraction scatters
+// uniformly over the whole square. The density falls off smoothly from the
+// core, so MST links grow from O(Sigma/√n) inside the core to O(Side) at
+// the fringe — a realistic traffic-gradient deployment that neither uniform
+// (flat) nor cluster (many equal cores) covers.
+type Hotspot struct {
+	Side  float64
+	Sigma float64
+	// Fringe ∈ [0, 1) is the fraction of points drawn uniformly over the
+	// square instead of from the core.
+	Fringe float64
+}
+
+// Name implements Generator.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Generate implements Generator.
+func (h Hotspot) Generate(n int, r *rng.RNG) []geom.Point {
+	side, sigma, fringe := hotspotParams(h.Side, h.Sigma, h.Fringe)
+	ctr := geom.Point{X: side / 2, Y: side / 2}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if r.Float64() < fringe {
+			pts[i] = geom.Point{X: r.Float64() * side, Y: r.Float64() * side}
+		} else {
+			pts[i] = geom.Point{
+				X: ctr.X + sigma*r.NormFloat64(),
+				Y: ctr.Y + sigma*r.NormFloat64(),
+			}
+		}
+	}
+	return dedupe(pts, r, sigma)
+}
+
+// hotspotParams fills the shared Hotspot/MultiHotspot defaults.
+func hotspotParams(side, sigma, fringe float64) (float64, float64, float64) {
+	if side <= 0 {
+		side = 1000
+	}
+	if sigma <= 0 {
+		sigma = side / 40
+	}
+	if fringe < 0 || fringe >= 1 {
+		fringe = 0.1
+	}
+	return side, sigma, fringe
+}
+
+// MultiHotspot is a mixture of Hotspots Gaussian hotspots with uniformly
+// scattered centers and geometrically spread widths — hotspot k has
+// standard deviation Sigma·2^k — plus a uniform fringe. Unlike Cluster
+// (equal-width cores, no background), the width spread populates several
+// length scales at once, stressing the dyadic length-class machinery with
+// unequal class sizes.
+type MultiHotspot struct {
+	Side     float64
+	Hotspots int
+	// Sigma is the width of the narrowest hotspot; hotspot k uses Sigma·2^k.
+	Sigma  float64
+	Fringe float64
+}
+
+// Name implements Generator.
+func (m MultiHotspot) Name() string { return "hotspot-multi" }
+
+// Generate implements Generator.
+func (m MultiHotspot) Generate(n int, r *rng.RNG) []geom.Point {
+	side, sigma, fringe := hotspotParams(m.Side, m.Sigma, m.Fringe)
+	k := m.Hotspots
+	if k <= 0 {
+		k = 4
+	}
+	if k > n {
+		k = n
+	}
+	centers := make([]geom.Point, k)
+	widths := make([]float64, k)
+	for i := range centers {
+		centers[i] = geom.Point{X: r.Float64() * side, Y: r.Float64() * side}
+		widths[i] = sigma * math.Pow(2, float64(i))
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if r.Float64() < fringe {
+			pts[i] = geom.Point{X: r.Float64() * side, Y: r.Float64() * side}
+			continue
+		}
+		h := r.Intn(k)
+		pts[i] = geom.Point{
+			X: centers[h].X + widths[h]*r.NormFloat64(),
+			Y: centers[h].Y + widths[h]*r.NormFloat64(),
+		}
+	}
+	return dedupe(pts, r, sigma)
+}
+
 // dedupe guarantees pairwise-distinct points: exact coincidences (which
 // would create zero-length MST links with no SINR semantics) are re-jittered
 // by a tiny fraction of scale. Only X is perturbed — distinct X already
@@ -253,6 +355,8 @@ func Presets() map[string]Spec {
 		"grid-exact":    {Gen: Grid{Spacing: 10, Jitter: 0.001}},
 		"annulus":       {Gen: Annulus{RMin: 1, RMax: 1e4}},
 		"annulus-wide":  {Gen: Annulus{RMin: 1, RMax: 1e6}},
+		"hotspot":       {Gen: Hotspot{Side: 1000, Sigma: 25, Fringe: 0.1}},
+		"hotspot-multi": {Gen: MultiHotspot{Side: 1000, Hotspots: 5, Sigma: 5, Fringe: 0.1}},
 	}
 	for name, spec := range m {
 		spec.Preset = name

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"testing"
 
 	"aggrate/internal/geom"
@@ -106,5 +107,105 @@ func TestDedupeRejittersCollisions(t *testing.T) {
 		if p.Dist(geom.Point{X: 1, Y: 1}) > 1e-6 && i < 3 {
 			t.Fatalf("dedupe moved point %d too far: %v", i, p)
 		}
+	}
+}
+
+// TestHotspotDistribution: the Gaussian hotspot must concentrate mass in
+// the core while the fringe still reaches the far corners of the square —
+// the density-gradient property the preset claims.
+func TestHotspotDistribution(t *testing.T) {
+	const n = 2000
+	spec, err := Lookup("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := spec.Gen.(Hotspot)
+	pts := spec.Generate(n, 11)
+	ctr := geom.Point{X: h.Side / 2, Y: h.Side / 2}
+	core, far := 0, 0
+	for _, p := range pts {
+		d := p.Dist(ctr)
+		if d <= 3*h.Sigma {
+			core++
+		}
+		if d > 10*h.Sigma {
+			far++
+		}
+	}
+	// 1-Fringe = 90% of points are N(ctr, σ²I): ≳99% of those land within
+	// 3σ, so the core must hold well over 80% of the mass.
+	if float64(core) < 0.8*n {
+		t.Fatalf("core (3σ) holds %d/%d points, want >= %d", core, n, int(0.8*n))
+	}
+	// The uniform fringe is ~10%: most of the square lies beyond 10σ = 250
+	// of the center, so a visible share of points must be out there.
+	if float64(far) < 0.02*n {
+		t.Fatalf("fringe beyond 10σ holds %d/%d points, want >= %d", far, n, int(0.02*n))
+	}
+}
+
+// TestMultiHotspotConcentration: the mixture must be far more concentrated
+// than a uniform scatter of the same size — measured by mean
+// nearest-neighbor distance — while its fringe keeps the full extent
+// populated.
+func TestMultiHotspotConcentration(t *testing.T) {
+	const n = 800
+	nnMean := func(pts []geom.Point) float64 {
+		sum := 0.0
+		for i, p := range pts {
+			best := math.Inf(1)
+			for j, q := range pts {
+				if i == j {
+					continue
+				}
+				if d := p.Dist(q); d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(pts))
+	}
+	multi, err := Lookup("hotspot-multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Lookup("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nnMean(multi.Generate(n, 13))
+	u := nnMean(uni.Generate(n, 13))
+	if m*1.4 >= u {
+		t.Fatalf("multi-hotspot not concentrated: nn mean %g vs uniform %g", m, u)
+	}
+	// Extent: the fringe must keep points spread across the square, not
+	// collapse everything into the hotspots.
+	var minX, maxX, minY, maxY = math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)
+	for _, p := range multi.Generate(n, 13) {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	side := multi.Gen.(MultiHotspot).Side
+	if maxX-minX < side/2 || maxY-minY < side/2 {
+		t.Fatalf("multi-hotspot extent collapsed: [%g,%g]x[%g,%g]", minX, maxX, minY, maxY)
+	}
+}
+
+// TestHotspotWidthSpread: the mixture's geometric width ladder must
+// actually produce MST links across multiple dyadic length classes (more
+// than the near-flat grid preset).
+func TestHotspotWidthSpread(t *testing.T) {
+	spec, err := Lookup("hotspot-multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := spec.Generate(600, 17)
+	d, err := geom.PointDiversity(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 100 {
+		t.Fatalf("hotspot-multi diversity %g, want >= 100 (multi-scale cores)", d)
 	}
 }

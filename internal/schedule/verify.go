@@ -11,6 +11,7 @@
 package schedule
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -61,6 +62,15 @@ func (s *Schedule) VerifySINR(p sinr.Params, pf PowerFunc) (float64, error) {
 
 // VerifySINRFast is VerifySINR returning the engine diagnostics alongside.
 func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyStats, error) {
+	return s.VerifySINRCtx(context.Background(), p, pf)
+}
+
+// VerifySINRCtx is VerifySINRFast with cancellation: the per-slot fan-out
+// checks ctx at slot boundaries, so a cancel stops verification within one
+// slot of work per active worker. On cancellation it returns
+// (0, partial stats, ctx.Err()) — never a feasibility verdict, since an
+// unknown set of slots went unexamined.
+func (s *Schedule) VerifySINRCtx(ctx context.Context, p sinr.Params, pf PowerFunc) (float64, VerifyStats, error) {
 	var st VerifyStats
 	eng := sinr.NewEngine(p, s.Links)
 	type slotOut struct {
@@ -68,6 +78,9 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 		stats               sinr.EngineStats
 		powerSec, marginSec float64
 		pfErr, mErr         error
+		// ran marks slots a worker actually examined — the cancelled-path
+		// stats must not count slots that were never dispatched.
+		ran bool
 	}
 	outs := make([]slotOut, len(s.Slots))
 	// failCut is the lowest slot index so far found infeasible (or errored).
@@ -80,7 +93,7 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 	failCut.Store(int64(len(s.Slots)))
 	// Block size 1: slot sizes are heavily skewed (first-fit slot 0 is the
 	// largest), so fine-grained stealing is what balances the pool.
-	par.ForBlocks(len(s.Slots), 1, func(next func() (int, int, bool)) {
+	err := par.ForBlocksCtx(ctx, len(s.Slots), 1, func(next func() (int, int, bool)) {
 		sc := sinr.NewEngineScratch()
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for k := lo; k < hi; k++ {
@@ -89,6 +102,7 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 					continue
 				}
 				o := &outs[k]
+				o.ran = true
 				t0 := time.Now()
 				powers, err := pf(k, slot)
 				o.powerSec = time.Since(t0).Seconds()
@@ -106,6 +120,22 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 			}
 		}
 	})
+
+	if err != nil {
+		// Cancelled mid-fan-out: an unknown subset of slots never ran, so the
+		// zero-valued outs must not be read as margins. Partial stats cover
+		// only the slots a worker actually examined (work performed).
+		for k := range outs {
+			if !outs[k].ran {
+				continue
+			}
+			st.Slots++
+			st.Engine.Add(outs[k].stats)
+			st.PowerSec += outs[k].powerSec
+			st.MarginSec += outs[k].marginSec
+		}
+		return 0, st, err
+	}
 
 	// Deterministic reduction in slot order, replicating the naive path's
 	// early-return values: a power/margin error at the first offending slot

@@ -29,6 +29,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -65,6 +66,11 @@ type Config struct {
 	// SINR supplies α for G_arb and the additive operator of the
 	// Theorem-2 refinement.
 	SINR sinr.Params
+	// WS optionally supplies a reusable coloring workspace, so a batch
+	// runner's per-worker scratch survives across instances. nil means the
+	// strategy allocates a fresh one. A Workspace is not safe for concurrent
+	// use; two simultaneous Schedule calls must not share one.
+	WS *coloring.Workspace
 }
 
 // ConflictFunc materializes the conflict-threshold function the Config
@@ -120,10 +126,13 @@ type Diag struct {
 
 // Strategy is one scheduling algorithm. Schedule must return a schedule over
 // exactly the given links (same indices) in which every link transmits at
-// least once per period.
+// least once per period. Schedule must honor ctx: a cancel or deadline stops
+// the conflict-graph build at a chunk boundary and returns ctx.Err() instead
+// of a schedule. Results are deterministic in (links, cfg) whenever ctx does
+// not fire.
 type Strategy interface {
 	Name() string
-	Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error)
+	Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error)
 }
 
 // Strategy names, as accepted by Lookup and the CLI --algo flag.
@@ -167,18 +176,25 @@ func All() []Strategy {
 }
 
 // colorWith is the shared body of the single-graph strategies: build the
-// conflict graph for cfg, color it with the supplied coloring (which gets a
-// fresh Workspace and a pre-sized palette, and may split its time into
-// Diag.OrderSec via the diag pointer), and emit the coloring schedule.
-func colorWith(links []geom.Link, f conflict.Func,
+// conflict graph for cfg, color it with the supplied coloring (which gets
+// the Config's Workspace — or a fresh one — and a pre-sized palette, and may
+// split its time into Diag.OrderSec via the diag pointer), and emit the
+// coloring schedule. A ctx cancel surfaces from the graph build.
+func colorWith(ctx context.Context, links []geom.Link, f conflict.Func, ws *coloring.Workspace,
 	color func(*conflict.Graph, *coloring.Workspace, []int, *Diag) int) (*schedule.Schedule, Diag, error) {
 	t0 := time.Now()
-	g := conflict.Build(links, f)
+	g, err := conflict.BuildCtx(ctx, links, f)
+	if err != nil {
+		return nil, Diag{Func: f, BuildSec: time.Since(t0).Seconds()}, err
+	}
 	d := Diag{Func: f, Graph: g, BuildSec: time.Since(t0).Seconds()}
 
 	t0 = time.Now()
 	colors := make([]int, g.N())
-	numColors := color(g, coloring.NewWorkspace(), colors, &d)
+	if ws == nil {
+		ws = coloring.NewWorkspace()
+	}
+	numColors := color(g, ws, colors, &d)
 	d.ColorSec = time.Since(t0).Seconds() - d.OrderSec
 	sched, err := schedule.FromColoring(links, colors)
 	if err != nil {
@@ -195,12 +211,12 @@ type greedyStrategy struct{}
 
 func (greedyStrategy) Name() string { return Greedy }
 
-func (greedyStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+func (greedyStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
 	f, err := cfg.ConflictFunc()
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, d *Diag) int {
+	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, d *Diag) int {
 		t0 := time.Now()
 		order := ws.LengthOrder(g)
 		d.OrderSec = time.Since(t0).Seconds()
@@ -213,12 +229,12 @@ type dsaturStrategy struct{}
 
 func (dsaturStrategy) Name() string { return DSatur }
 
-func (dsaturStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+func (dsaturStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
 	f, err := cfg.ConflictFunc()
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
 		return ws.DSatur(g, colors)
 	})
 }
@@ -233,12 +249,12 @@ type jpStrategy struct{}
 
 func (jpStrategy) Name() string { return JP }
 
-func (jpStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+func (jpStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
 	f, err := cfg.ConflictFunc()
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
 		return ws.JP(g, jpSeed, colors)
 	})
 }
@@ -262,12 +278,12 @@ func NaiveFunc(k float64) conflict.Func {
 	}
 }
 
-func (naiveStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+func (naiveStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
 	if _, err := cfg.ConflictFunc(); err != nil {
 		return nil, Diag{}, err // reject bogus graph kinds uniformly
 	}
 	f := NaiveFunc(cfg.Gamma)
-	return colorWith(links, f, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
 		return ws.FirstFit(g, coloring.IndexOrder(g.N()), colors)
 	})
 }
@@ -288,7 +304,7 @@ type lengthClassStrategy struct{}
 
 func (lengthClassStrategy) Name() string { return LengthClass }
 
-func (lengthClassStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
+func (lengthClassStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
 	f, err := cfg.ConflictFunc()
 	if err != nil {
 		return nil, Diag{}, err
@@ -306,7 +322,10 @@ func (lengthClassStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Sc
 	// Per-class schedules, classes in increasing length order. classSlots[c]
 	// lists the slots of class c in global link indices. One Workspace and
 	// one densify scratch are threaded through all classes.
-	ws := coloring.NewWorkspace()
+	ws := cfg.WS
+	if ws == nil {
+		ws = coloring.NewWorkspace()
+	}
 	var densifyScratch []int
 	classSlots := make([][][]int, len(classes))
 	for c, idx := range classes {
@@ -315,8 +334,11 @@ func (lengthClassStrategy) Schedule(links []geom.Link, cfg Config) (*schedule.Sc
 			classLinks[k] = links[i]
 		}
 		t0 := time.Now()
-		g := conflict.Build(classLinks, f)
+		g, err := conflict.BuildCtx(ctx, classLinks, f)
 		d.BuildSec += time.Since(t0).Seconds()
+		if err != nil {
+			return nil, d, err
+		}
 		d.Edges += g.Edges()
 		if md := g.MaxDegree(); md > d.MaxDegree {
 			d.MaxDegree = md

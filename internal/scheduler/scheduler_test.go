@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestUnknownGraphKindRejectedByEveryStrategy(t *testing.T) {
 	cfg := defaultConfig()
 	cfg.Graph = "bogus"
 	for _, s := range All() {
-		if _, _, err := s.Schedule(links, cfg); err == nil {
+		if _, _, err := s.Schedule(context.Background(), links, cfg); err == nil {
 			t.Fatalf("%s: bogus graph kind did not error", s.Name())
 		}
 	}
@@ -60,7 +61,7 @@ func TestUnknownGraphKindRejectedByEveryStrategy(t *testing.T) {
 
 func TestEmptyLinkSet(t *testing.T) {
 	for _, s := range All() {
-		sched, _, err := s.Schedule(nil, defaultConfig())
+		sched, _, err := s.Schedule(context.Background(), nil, defaultConfig())
 		if err != nil {
 			t.Fatalf("%s: empty link set errored: %v", s.Name(), err)
 		}
@@ -112,7 +113,7 @@ func TestLengthClassesRejectsDegenerate(t *testing.T) {
 // actually exercise the per-class path.
 func TestLengthClassUsesMultipleClasses(t *testing.T) {
 	links := instanceLinks(t, "cluster", 300, 3)
-	_, diag, err := lengthClassStrategy{}.Schedule(links, defaultConfig())
+	_, diag, err := lengthClassStrategy{}.Schedule(context.Background(), links, defaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestLengthClassRefineOnArb(t *testing.T) {
 	links := instanceLinks(t, "uniform", 200, 5)
 	cfg := defaultConfig()
 	cfg.Graph = GraphArbitrary
-	sched, diag, err := lengthClassStrategy{}.Schedule(links, cfg)
+	sched, diag, err := lengthClassStrategy{}.Schedule(context.Background(), links, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestScheduleInvariants(t *testing.T) {
 			cfg := defaultConfig()
 			cfg.Graph = gk
 			for _, s := range All() {
-				sched, diag, err := s.Schedule(links, cfg)
+				sched, diag, err := s.Schedule(context.Background(), links, cfg)
 				if err != nil {
 					t.Fatalf("%s/%s/%s: %v", in.preset, gk, s.Name(), err)
 				}
@@ -224,11 +225,11 @@ func TestScheduleInvariants(t *testing.T) {
 func TestStrategiesDeterministic(t *testing.T) {
 	links := instanceLinks(t, "uniform", 200, 7)
 	for _, s := range All() {
-		s1, _, err := s.Schedule(links, defaultConfig())
+		s1, _, err := s.Schedule(context.Background(), links, defaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
-		s2, _, err := s.Schedule(links, defaultConfig())
+		s2, _, err := s.Schedule(context.Background(), links, defaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"aggrate/internal/experiment"
+)
+
+// resultCache is a concurrency-safe LRU over completed experiment results,
+// keyed by experiment.SpecKey. Cached *Result values are shared across jobs
+// and must be treated as immutable by every reader — the HTTP layer only
+// marshals them.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *experiment.Result
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, promoting it to most recent.
+func (c *resultCache) get(key string) (*experiment.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is over capacity.
+func (c *resultCache) add(key string, res *experiment.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the live entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,586 @@
+// Package service exposes the experiment engine as a long-running HTTP JSON
+// API — the serving layer in front of the cancellable, streaming pipeline:
+//
+//	POST   /v1/jobs             submit a spec grid (validated up front)
+//	GET    /v1/jobs/{id}        job status, progress counts, completed results
+//	GET    /v1/jobs/{id}/stream NDJSON of results as they complete
+//	DELETE /v1/jobs/{id}        cancel via the engine's context plumbing
+//	GET    /v1/healthz          liveness + queue/cache gauges
+//
+// Jobs enter a bounded queue (submission returns 503 when it is full) and
+// execute one at a time; within a job, instances fan out over an
+// experiment.Runner worker pool sized off experiment.Workers. Completed
+// results land in an LRU cache keyed by experiment.SpecKey — the canonical
+// hash of the normalized Spec — so a repeated spec (same scenario, n, seed,
+// power, algo, γ configuration, …) is served without recomputation, marked
+// cache_hit in every response that carries it.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"aggrate/internal/experiment"
+	"aggrate/internal/scenario"
+	"aggrate/internal/schedule"
+	"aggrate/internal/scheduler"
+	"aggrate/internal/sinr"
+)
+
+// Job lifecycle states.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusCancelled = "cancelled"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Workers is the per-job instance pool width, resolved through
+	// experiment.Workers (<= 0 means GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the job queue; submissions beyond it are rejected
+	// with 503 rather than buffered without limit. Default 64.
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity in specs. Default 4096.
+	CacheSize int
+	// MaxSpecs bounds the grid size of a single job. Default 10000.
+	MaxSpecs int
+	// MaxJobs bounds the job records kept in memory: when a submission
+	// pushes the registry past it, the oldest *terminal* (done/cancelled)
+	// jobs — and their result payloads — are evicted. Live jobs are never
+	// evicted, so the registry can temporarily exceed the cap by the number
+	// of queued+running jobs. Default 1024.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxSpecs <= 0 {
+		c.MaxSpecs = 10000
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Server owns the job registry, the bounded queue, the executor goroutine,
+// and the result cache. Create with New, serve via Handler, stop with Close.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // job ids in creation order, for terminal-job eviction
+	seq    int
+	closed bool
+}
+
+// New starts a Server (and its executor goroutine) with the given config.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		baseCtx: ctx,
+		cancel:  cancel,
+		queue:   make(chan *job, cfg.QueueSize),
+		jobs:    make(map[string]*job),
+	}
+	s.wg.Add(1)
+	go s.executor()
+	return s
+}
+
+// Close cancels every job, stops accepting submissions, and waits for the
+// executor to drain. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// job is one submitted grid and its execution state.
+type job struct {
+	id      string
+	specs   []experiment.Spec
+	keys    []string
+	created time.Time
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	status    string
+	items     []StreamItem // completion order
+	cacheHits int
+	notify    chan struct{} // closed+replaced on every state change
+}
+
+// StreamItem is one completed instance as it appears on the stream and in
+// the results array: the spec's position in the submitted grid, its cache
+// key, whether it was served from cache, and the metric record.
+type StreamItem struct {
+	Index    int                `json:"index"`
+	SpecKey  string             `json:"spec_key"`
+	CacheHit bool               `json:"cache_hit"`
+	Result   *experiment.Result `json:"result"`
+}
+
+// complete records one finished instance and wakes the streamers.
+func (j *job) complete(i int, res *experiment.Result, hit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.items = append(j.items, StreamItem{Index: i, SpecKey: j.keys[i], CacheHit: hit, Result: res})
+	if hit {
+		j.cacheHits++
+	}
+	j.broadcast()
+}
+
+// broadcast wakes every waiter; callers hold j.mu.
+func (j *job) broadcast() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// terminal reports whether the job reached a final state.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusDone || j.status == StatusCancelled
+}
+
+// snapshot returns the items at and past cursor, whether the job reached a
+// terminal state, and the channel that closes on the next change.
+func (j *job) snapshot(cursor int) ([]StreamItem, bool, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	terminal := j.status == StatusDone || j.status == StatusCancelled
+	return j.items[cursor:], terminal, j.notify
+}
+
+// JobStatus is the GET /v1/jobs/{id} payload. Results are in completion
+// order; Index maps each back to its position in the submitted grid.
+type JobStatus struct {
+	ID        string       `json:"id"`
+	Status    string       `json:"status"`
+	Total     int          `json:"total"`
+	Completed int          `json:"completed"`
+	CacheHits int          `json:"cache_hits"`
+	CreatedAt time.Time    `json:"created_at"`
+	Results   []StreamItem `json:"results,omitempty"`
+}
+
+func (j *job) statusPayload(withResults bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Status:    j.status,
+		Total:     len(j.specs),
+		Completed: len(j.items),
+		CacheHits: j.cacheHits,
+		CreatedAt: j.created,
+	}
+	if withResults {
+		st.Results = append([]StreamItem(nil), j.items...)
+	}
+	return st
+}
+
+// JobRequest is the POST /v1/jobs payload: the same grid axes as the CLI's
+// run subcommand. Zero values take the CLI defaults (uniform scenario
+// excepted — Scenarios is required). Verify defaults to true; send false
+// explicitly to skip SINR verification.
+type JobRequest struct {
+	Scenarios []string `json:"scenarios"`
+	Ns        []int    `json:"ns"`
+	Seeds     int      `json:"seeds"`
+	Seed      uint64   `json:"seed"`
+	Powers    []string `json:"powers"`
+	Algos     []string `json:"algos"`
+	Graph     string   `json:"graph"`
+	Gamma     float64  `json:"gamma"`
+	Delta     float64  `json:"delta"`
+	Alpha     float64  `json:"alpha"`
+	Beta      float64  `json:"beta"`
+	Noise     float64  `json:"noise"`
+	Verify    *bool    `json:"verify"`
+	Engine    string   `json:"verify_engine"`
+	// TimeoutSec, when positive, bounds the job's wall clock; on expiry the
+	// job cancels like DELETE and keeps its completed prefix.
+	TimeoutSec float64 `json:"timeout_sec"`
+}
+
+// specs validates the request and expands it into the instance grid. Every
+// enum and range error is reported before any instance runs.
+func (r *JobRequest) specs(maxSpecs int) ([]experiment.Spec, error) {
+	if len(r.Scenarios) == 0 {
+		return nil, fmt.Errorf("scenarios is required")
+	}
+	scList := make([]experiment.Scenario, 0, len(r.Scenarios))
+	for _, name := range r.Scenarios {
+		sc, err := scenario.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		scList = append(scList, sc)
+	}
+	ns := r.Ns
+	if len(ns) == 0 {
+		ns = []int{1000}
+	}
+	for _, n := range ns {
+		if n < 2 {
+			return nil, fmt.Errorf("ns entries must be >= 2, got %d", n)
+		}
+	}
+	powers := r.Powers
+	if len(powers) == 0 {
+		powers = []string{experiment.PowerMean}
+	}
+	for _, p := range powers {
+		switch p {
+		case experiment.PowerUniform, experiment.PowerMean, experiment.PowerLinear, experiment.PowerGlobal:
+		default:
+			return nil, fmt.Errorf("unknown power %q", p)
+		}
+	}
+	algos := r.Algos
+	if len(algos) == 0 {
+		algos = []string{scheduler.Greedy}
+	}
+	for _, a := range algos {
+		if _, err := scheduler.Lookup(a); err != nil {
+			return nil, err
+		}
+	}
+	graph := r.Graph
+	if graph == "" {
+		graph = experiment.GraphOblivious
+	}
+	switch graph {
+	case experiment.GraphGamma, experiment.GraphOblivious, experiment.GraphArbitrary:
+	default:
+		return nil, fmt.Errorf("unknown graph %q", graph)
+	}
+	engine := r.Engine
+	if engine == "" {
+		engine = schedule.EngineFast
+	}
+	if engine != schedule.EngineFast && engine != schedule.EngineNaive {
+		return nil, fmt.Errorf("unknown verify_engine %q", engine)
+	}
+	seeds := r.Seeds
+	if seeds < 1 {
+		seeds = 1
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	alpha, beta := r.Alpha, r.Beta
+	if alpha == 0 {
+		alpha = 3
+	}
+	if beta == 0 {
+		beta = 2
+	}
+	verify := true
+	if r.Verify != nil {
+		verify = *r.Verify
+	}
+	base := experiment.Spec{
+		Seed:         seed,
+		Graph:        graph,
+		Gamma:        r.Gamma,
+		Delta:        r.Delta,
+		SINR:         sinr.Params{Alpha: alpha, Beta: beta, Noise: r.Noise, Epsilon: 0.5},
+		Verify:       verify,
+		VerifyEngine: engine,
+	}
+	if err := base.SINR.Validate(); err != nil {
+		return nil, err
+	}
+	if total := len(scList) * len(ns) * seeds * len(powers) * len(algos); total > maxSpecs {
+		return nil, fmt.Errorf("grid expands to %d specs, server limit is %d", total, maxSpecs)
+	}
+	return experiment.Expand(scList, ns, seeds, powers, algos, base), nil
+}
+
+// Handler returns the /v1 route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false) // keep validation messages ('>= 2') readable
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	specs, err := req.specs(s.cfg.MaxSpecs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
+	keys := make([]string, len(specs))
+	for i, sp := range specs {
+		keys[i] = experiment.SpecKey(sp)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.seq++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", s.seq),
+		specs:   specs,
+		keys:    keys,
+		created: time.Now().UTC(),
+		status:  StatusQueued,
+		notify:  make(chan struct{}),
+	}
+	if req.TimeoutSec > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, time.Duration(req.TimeoutSec*float64(time.Second)))
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+	// Enqueue while still holding s.mu: Close sets closed and closes the
+	// queue under the same lock discipline, so a send can never race the
+	// close. The send is non-blocking, so holding the lock is cheap.
+	select {
+	case s.queue <- j:
+	default:
+		// Bounded queue full: reject rather than buffer unboundedly.
+		s.mu.Unlock()
+		j.cancel()
+		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueSize)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneJobs()
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, j.statusPayload(false))
+}
+
+// pruneJobs evicts the oldest terminal job records (and their result
+// payloads) once the registry exceeds MaxJobs, so a long-running server's
+// memory stays bounded by the cap plus the live jobs. Callers hold s.mu.
+func (s *Server) pruneJobs() {
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(s.jobs) > s.cfg.MaxJobs && j.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	withResults := r.URL.Query().Get("results") != "false"
+	writeJSON(w, http.StatusOK, j.statusPayload(withResults))
+}
+
+// handleStream writes one NDJSON StreamItem per completed instance as it
+// finishes, then a terminal line {"done":true,...}. A client disconnect
+// stops the stream without affecting the job.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cursor := 0
+	for {
+		items, terminal, notify := j.snapshot(cursor)
+		for _, it := range items {
+			if err := enc.Encode(it); err != nil {
+				return
+			}
+		}
+		cursor += len(items)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			st := j.statusPayload(false)
+			_ = enc.Encode(map[string]any{
+				"done": true, "status": st.Status,
+				"completed": st.Completed, "total": st.Total, "cache_hits": st.CacheHits,
+			})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	j.mu.Lock()
+	// A queued job never reaches the executor's running transition, so its
+	// terminal state is set here; a running one transitions when the runner
+	// unwinds (within one chunk boundary of the cancel).
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.broadcast()
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, j.statusPayload(false))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"jobs":          jobs,
+		"queue_depth":   len(s.queue),
+		"queue_size":    s.cfg.QueueSize,
+		"cache_entries": s.cache.len(),
+		"workers":       experiment.Workers(s.cfg.Workers, 1<<30),
+	})
+}
+
+// executor drains the job queue, one job at a time: total engine
+// parallelism stays bounded by the per-job worker pool regardless of how
+// many jobs are queued.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		j.mu.Lock()
+		if j.status != StatusQueued { // cancelled while queued
+			j.mu.Unlock()
+			continue
+		}
+		j.status = StatusRunning
+		j.broadcast()
+		j.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob serves cache hits immediately, fans the misses out over the
+// engine's streaming Runner, and stores fresh successes back in the cache.
+func (s *Server) runJob(j *job) {
+	defer j.cancel() // release the timeout timer, if any
+	var missIdx []int
+	for i := range j.specs {
+		if res, ok := s.cache.get(j.keys[i]); ok {
+			j.complete(i, res, true)
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) > 0 && j.ctx.Err() == nil {
+		miss := make([]experiment.Spec, len(missIdx))
+		for k, i := range missIdx {
+			miss[k] = j.specs[i]
+		}
+		runner := experiment.Runner{Workers: s.cfg.Workers, Sink: func(k int, r *experiment.Result) {
+			i := missIdx[k]
+			if r.Err == "" {
+				s.cache.add(j.keys[i], r)
+			}
+			j.complete(i, r, false)
+		}}
+		_, _ = runner.Run(j.ctx, miss)
+	}
+	j.mu.Lock()
+	if j.ctx.Err() != nil {
+		j.status = StatusCancelled
+	} else {
+		j.status = StatusDone
+	}
+	j.broadcast()
+	j.mu.Unlock()
+}
