@@ -212,7 +212,7 @@ type specFlags struct {
 	seeds, workers                   *int
 	seed                             *uint64
 	gamma, delta, alpha, beta, noise *float64
-	verify                           *bool
+	verify, incr                     *bool
 }
 
 func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlags {
@@ -229,6 +229,7 @@ func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlag
 		noise:     fs.Float64("noise", 0, "ambient noise N"),
 		verify:    fs.Bool("verify", true, "verify every slot against the SINR condition, escalating γ on failure"),
 		engine:    fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)"),
+		incr:      fs.Bool("verify-incremental", true, "reuse exact slot verdicts across γ escalations (fast engine; identical results, less work)"),
 		workers:   fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)"),
 	}
 }
@@ -250,13 +251,14 @@ func (sf *specFlags) resolve() ([]experiment.Scenario, []int, experiment.Spec, e
 		return nil, nil, zero, err
 	}
 	base := experiment.Spec{
-		Seed:         *sf.seed,
-		Graph:        *sf.graph,
-		Gamma:        *sf.gamma,
-		Delta:        *sf.delta,
-		SINR:         sinr.Params{Alpha: *sf.alpha, Beta: *sf.beta, Noise: *sf.noise, Epsilon: 0.5},
-		Verify:       *sf.verify,
-		VerifyEngine: *sf.engine,
+		Seed:                *sf.seed,
+		Graph:               *sf.graph,
+		Gamma:               *sf.gamma,
+		Delta:               *sf.delta,
+		SINR:                sinr.Params{Alpha: *sf.alpha, Beta: *sf.beta, Noise: *sf.noise, Epsilon: 0.5},
+		Verify:              *sf.verify,
+		VerifyEngine:        *sf.engine,
+		NoIncrementalVerify: !*sf.incr,
 	}
 	return scList, nList, base, nil
 }
@@ -624,9 +626,19 @@ type AlgoBench struct {
 	Verified         bool    `json:"verified"`
 	VerifySec        float64 `json:"verify_sec"`
 	ExactPairsFrac   float64 `json:"exact_pairs_frac"`
-	VerifyNaiveSec   float64 `json:"verify_naive_sec,omitempty"`
-	VerifySpeedup    float64 `json:"verify_speedup,omitempty"`
-	VerifyMatch      *bool   `json:"verify_match,omitempty"`
+	// VerifyWarmSec times a second verification of the same schedule through
+	// the pipeline's incremental cache (every unchanged slot answers from its
+	// cached exact margin); VerifyReusedSlots counts the slots so answered,
+	// out of VerifySlots. Absent when --verify-incremental=false.
+	VerifyWarmSec     float64 `json:"verify_warm_sec,omitempty"`
+	VerifyReusedSlots int     `json:"verify_reused_slots,omitempty"`
+	VerifySlots       int     `json:"verify_slots,omitempty"`
+	// VerifyRefinedCells counts far-field cells the engine re-aggregated at
+	// tightened openings (adaptive-refinement tier) during the cold re-verify.
+	VerifyRefinedCells int64   `json:"verify_refined_cells,omitempty"`
+	VerifyNaiveSec     float64 `json:"verify_naive_sec,omitempty"`
+	VerifySpeedup      float64 `json:"verify_speedup,omitempty"`
+	VerifyMatch        *bool   `json:"verify_match,omitempty"`
 }
 
 // BenchEntry is one row of the bench report. EdgesMatched is only present
@@ -672,6 +684,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	preset := fs.String("scenario", "uniform", "scenario preset to benchmark on")
 	algos := fs.String("algo", strings.Join(scheduler.Names(), ","), "comma-separated algorithms to time the pipeline with")
 	engine := fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)")
+	incr := fs.Bool("verify-incremental", true, "reuse exact slot verdicts across γ escalations and report the warm re-verify split")
 	procs := fs.String("procs", "0", "comma-separated GOMAXPROCS values to sweep (0 = NumCPU); one bench run each")
 	out := fs.String("out", "BENCH_pipeline.json", "output path ('-' = stdout)")
 	timeout := fs.Duration("timeout", 0, "cancel the sweep after this duration, writing the entries completed so far (0 = none)")
@@ -713,7 +726,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	report := BenchReport{Scenario: *preset, Seed: *seed}
 	var sweepErr error
 	for _, p := range procList {
-		run, err := benchRun(ctx, sc, nList, algoList, p, *naiveMax, *seed, *engine, stderr)
+		run, err := benchRun(ctx, sc, nList, algoList, p, *naiveMax, *seed, *engine, *incr, stderr)
 		// A cancelled sweep still writes the completed entries (partial
 		// runs included); any other error aborts without a report.
 		if err != nil && ctx.Err() == nil {
@@ -746,7 +759,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 // NumCPU), restoring the previous setting before returning. A ctx cancel
 // stops the sweep and returns the entries completed so far with ctx.Err().
 func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []string,
-	procsWanted, naiveMax int, seed uint64, engine string, stderr io.Writer) (BenchRun, error) {
+	procsWanted, naiveMax int, seed uint64, engine string, incremental bool, stderr io.Writer) (BenchRun, error) {
 	if procsWanted > 0 {
 		prev := runtime.GOMAXPROCS(procsWanted)
 		defer runtime.GOMAXPROCS(prev)
@@ -794,6 +807,7 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 			spec := experiment.NewSpec(sc, n, seed)
 			spec.Algo = algo
 			spec.VerifyEngine = engine
+			spec.NoIncrementalVerify = !incremental
 			t0 = time.Now()
 			inst, res, err := experiment.NewInstance(ctx, spec)
 			sec := time.Since(t0).Seconds()
@@ -827,6 +841,23 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 				return run, fmt.Errorf("bench re-verify algo=%s n=%d: %w", algo, n, verr)
 			}
 			ab.ExactPairsFrac = vst.Engine.ExactPairsFrac()
+			ab.VerifyRefinedCells = vst.Engine.RefinedCells
+			if incremental && engine == schedule.EngineFast {
+				// Warm pass: the escalation loop's cache holds every slot of
+				// the final schedule, so this measures pure cache-hit
+				// verification of an unchanged schedule.
+				t0 = time.Now()
+				wm, wst, werr := inst.ReverifyIncremental()
+				ab.VerifyWarmSec = time.Since(t0).Seconds()
+				if werr != nil {
+					return run, fmt.Errorf("bench warm re-verify algo=%s n=%d: %w", algo, n, werr)
+				}
+				if !marginsClose(margin, wm) {
+					return run, fmt.Errorf("bench warm re-verify algo=%s n=%d: margin %g != cold %g", algo, n, wm, margin)
+				}
+				ab.VerifyReusedSlots = wst.ReusedSlots
+				ab.VerifySlots = wst.Slots
+			}
 			if engine == schedule.EngineFast && n <= naiveMax {
 				t0 = time.Now()
 				nm, _, nerr := inst.VerifySchedule(schedule.EngineNaive)

@@ -53,14 +53,21 @@ import (
 type Func struct {
 	Name string
 	Eval func(x float64) float64
+	// Const, when positive, asserts that Eval is the constant function
+	// x ↦ Const. The bucketed build's innermost pair test then computes the
+	// threshold directly instead of calling the Eval closure per pair — the
+	// dominant per-candidate cost for G_γ builds. Constructors that set it
+	// (Gamma) guarantee agreement with Eval; leave it zero otherwise.
+	Const float64
 }
 
 // Gamma returns the constant function f ≡ γ defining G_γ. The paper's G₁ is
 // Gamma(1).
 func Gamma(gamma float64) Func {
 	return Func{
-		Name: fmt.Sprintf("G_gamma(%g)", gamma),
-		Eval: func(x float64) float64 { return gamma },
+		Name:  fmt.Sprintf("G_gamma(%g)", gamma),
+		Eval:  func(x float64) float64 { return gamma },
+		Const: gamma,
 	}
 }
 
@@ -244,31 +251,87 @@ func BuildNaive(links []geom.Link, f Func) *Graph {
 	return fromEdges(links, f, edges, false)
 }
 
-// cellKey addresses one cell of a uniform grid. Integer coordinates keep
-// the map collision-free for any instance extent.
-type cellKey struct{ x, y int64 }
-
-// classGrid indexes the link endpoints of one dyadic length class.
+// classGrid indexes the link endpoints of one dyadic length class, in a
+// flat open-addressed hash table of cells (linear probing, power-of-two
+// capacity, load factor ≤ ½) with the per-cell member lists packed into one
+// CSR members array. Integer cell coordinates keep addressing collision-free
+// for any instance extent; replacing the former map[cellKey][]int32 removes
+// the runtime map's hashing, bucket-probe, and per-cell slice overhead from
+// the build's innermost lookup.
 type classGrid struct {
-	cells map[cellKey][]int32
-	size  float64 // cell side length
-	maxL  float64 // actual maximum link length in the class
-	minL  float64 // actual minimum link length in the class
+	size float64 // cell side length
+	maxL float64 // actual maximum link length in the class
+	minL float64 // actual minimum link length in the class
 	// Bounding box of the occupied cells. Scan rectangles are clamped to
 	// it, so a search radius far larger than the class extent (possible for
 	// LogThreshold with α near 2) costs no more than the extent itself.
 	minCX, maxCX, minCY, maxCY int64
+	// Open-addressed table: slot s holds cell (keyX[s], keyY[s]) iff full[s].
+	mask       uint64
+	keyX, keyY []int64
+	full       []bool
+	slots      int // occupied slots
+	// CSR member storage: the links with an endpoint in the cell at slot s
+	// are members[start[s]:start[s+1]], in increasing link order.
+	start   []int32
+	members []int32
+	// fillTmp is the scatter cursor used only while buildBucketed packs
+	// members; nil afterwards.
+	fillTmp []int32
 }
 
-func (cg *classGrid) key(p geom.Point) cellKey {
-	return cellKey{int64(math.Floor(p.X / cg.size)), int64(math.Floor(p.Y / cg.size))}
+// cellHash mixes a cell coordinate pair to a table index distribution
+// (splitmix64 finalizer over independently multiplied coordinates).
+func cellHash(x, y int64) uint64 {
+	h := uint64(x)*0x9e3779b97f4a7c15 ^ uint64(y)*0xc2b2ae3d27d4eb4f
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
-func (cg *classGrid) extend(k cellKey) {
-	cg.minCX = min(cg.minCX, k.x)
-	cg.maxCX = max(cg.maxCX, k.x)
-	cg.minCY = min(cg.minCY, k.y)
-	cg.maxCY = max(cg.maxCY, k.y)
+func (cg *classGrid) cellCoord(p geom.Point) (int64, int64) {
+	return int64(math.Floor(p.X / cg.size)), int64(math.Floor(p.Y / cg.size))
+}
+
+// insertSlot returns the table slot of cell (x, y), claiming an empty slot
+// on first use. The capacity chosen in buildBucketed bounds the load factor
+// by ½, so probe chains stay short and the loop always terminates.
+func (cg *classGrid) insertSlot(x, y int64) int {
+	h := cellHash(x, y) & cg.mask
+	for {
+		if !cg.full[h] {
+			cg.full[h] = true
+			cg.keyX[h], cg.keyY[h] = x, y
+			cg.slots++
+			return int(h)
+		}
+		if cg.keyX[h] == x && cg.keyY[h] == y {
+			return int(h)
+		}
+		h = (h + 1) & cg.mask
+	}
+}
+
+// cellAt returns the member list of cell (x, y), nil when the cell is empty.
+func (cg *classGrid) cellAt(x, y int64) []int32 {
+	h := cellHash(x, y) & cg.mask
+	for cg.full[h] {
+		if cg.keyX[h] == x && cg.keyY[h] == y {
+			return cg.members[cg.start[h]:cg.start[h+1]]
+		}
+		h = (h + 1) & cg.mask
+	}
+	return nil
+}
+
+func (cg *classGrid) extend(x, y int64) {
+	cg.minCX = min(cg.minCX, x)
+	cg.maxCX = max(cg.maxCX, x)
+	cg.minCY = min(cg.minCY, y)
+	cg.maxCY = max(cg.maxCY, y)
 }
 
 // clampCell converts a floored cell coordinate to int64, clamped to
@@ -353,15 +416,17 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 	nc := len(bounds)
 	class := make([]int, n)
 	grids := make([]*classGrid, nc)
+	cnt := make([]int, nc)
 	for i := 0; i < n; i++ {
 		c := sort.SearchFloat64s(bounds, lens[i])
 		if c == nc || bounds[c] > lens[i] {
 			c--
 		}
 		class[i] = c
+		cnt[c]++
 		if grids[c] == nil {
 			grids[c] = &classGrid{
-				cells: make(map[cellKey][]int32), maxL: lens[i], minL: lens[i],
+				maxL: lens[i], minL: lens[i],
 				minCX: math.MaxInt64, maxCX: math.MinInt64,
 				minCY: math.MaxInt64, maxCY: math.MinInt64,
 			}
@@ -371,7 +436,7 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 			g.minL = math.Min(g.minL, lens[i])
 		}
 	}
-	for _, cg := range grids {
+	for c, cg := range grids {
 		if cg == nil {
 			continue
 		}
@@ -379,17 +444,84 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 		if !(cg.size > 0) || math.IsInf(cg.size, 1) {
 			return nil, nil
 		}
+		// A class of k links occupies at most 2k cells, so capacity 4k keeps
+		// the open-addressed load factor at or below ½.
+		capSlots := 8
+		for capSlots < 4*cnt[c] {
+			capSlots <<= 1
+		}
+		cg.mask = uint64(capSlots - 1)
+		cg.keyX = make([]int64, capSlots)
+		cg.keyY = make([]int64, capSlots)
+		cg.full = make([]bool, capSlots)
+		cg.start = make([]int32, capSlots+1)
+	}
+	// Insert pass: claim slots and count per-cell members (into start[s+1],
+	// ready for the prefix sum), then scatter link indices. A link whose two
+	// endpoints share a cell is stored once.
+	slotS := make([]int32, n)
+	slotR := make([]int32, n)
+	for i := 0; i < n; i++ {
+		cg := grids[class[i]]
+		sx, sy := cg.cellCoord(links[i].S)
+		rx, ry := cg.cellCoord(links[i].R)
+		s := cg.insertSlot(sx, sy)
+		cg.start[s+1]++
+		cg.extend(sx, sy)
+		slotS[i] = int32(s)
+		slotR[i] = -1
+		if rx != sx || ry != sy {
+			s = cg.insertSlot(rx, ry)
+			cg.start[s+1]++
+			cg.extend(rx, ry)
+			slotR[i] = int32(s)
+		}
+	}
+	for _, cg := range grids {
+		if cg == nil {
+			continue
+		}
+		for s := 0; s < len(cg.full); s++ {
+			cg.start[s+1] += cg.start[s]
+		}
+		cg.members = make([]int32, cg.start[len(cg.full)])
+	}
+	// Scatter, each class advancing its own copy of the start offsets.
+	for _, cg := range grids {
+		if cg == nil {
+			continue
+		}
+		cg.fillTmp = append([]int32(nil), cg.start[:len(cg.full)]...)
 	}
 	for i := 0; i < n; i++ {
 		cg := grids[class[i]]
-		sk := cg.key(links[i].S)
-		rk := cg.key(links[i].R)
-		cg.cells[sk] = append(cg.cells[sk], int32(i))
-		cg.extend(sk)
-		if rk != sk {
-			cg.cells[rk] = append(cg.cells[rk], int32(i))
-			cg.extend(rk)
+		s := slotS[i]
+		cg.members[cg.fillTmp[s]] = int32(i)
+		cg.fillTmp[s]++
+		if r := slotR[i]; r >= 0 {
+			cg.members[cg.fillTmp[r]] = int32(i)
+			cg.fillTmp[r]++
 		}
+	}
+	for _, cg := range grids {
+		if cg != nil {
+			cg.fillTmp = nil
+		}
+	}
+
+	// SoA endpoint coordinates: the scan kernel streams four flat float64
+	// arrays instead of loading whole Link structs per candidate.
+	sxs := make([]float64, n)
+	sys := make([]float64, n)
+	rxs := make([]float64, n)
+	rys := make([]float64, n)
+	for i, l := range links {
+		sxs[i], sys[i] = l.S.X, l.S.Y
+		rxs[i], rys[i] = l.R.X, l.R.Y
+	}
+	bs := &bucketedSearch{
+		lens: lens, class: class, grids: grids, f: f, fConst: f.Const,
+		sx: sxs, sy: sys, rx: rxs, ry: rys,
 	}
 
 	// Parallel candidate search. Each worker appends the edges its vertices
@@ -412,7 +544,7 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 		buf := *bufp
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for i := lo; i < hi; i++ {
-				searchLink(links, lens, class, grids, f, int32(i), stamp, &buf)
+				bs.searchLink(int32(i), stamp, &buf)
 			}
 		}
 		*bufp = buf
@@ -446,13 +578,24 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 	return fromEdges(links, f, edges, true), nil
 }
 
+// bucketedSearch carries the read-only state of one bucketed candidate
+// search: precomputed lengths and classes, the per-class cell tables, and
+// the link endpoints in structure-of-arrays form for the scan kernel.
+type bucketedSearch struct {
+	lens           []float64
+	class          []int
+	grids          []*classGrid
+	f              Func
+	fConst         float64 // Func.Const: > 0 ⟹ skip the Eval closure per pair
+	sx, sy, rx, ry []float64
+}
+
 // searchLink appends to *out every edge (i, j) that link i owns.
-func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGrid,
-	f Func, i int32, stamp []int32, out *[]edge) {
-	li := lens[i]
-	ci := class[i]
-	for c := ci; c < len(grids); c++ {
-		cg := grids[c]
+func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge) {
+	li := b.lens[i]
+	ci := b.class[i]
+	for c := ci; c < len(b.grids); c++ {
+		cg := b.grids[c]
 		if cg == nil {
 			continue
 		}
@@ -465,18 +608,22 @@ func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGr
 		} else {
 			x = cg.maxL / li
 		}
-		r := li * f.Eval(x) * (1 + 1e-9)
+		r := li * b.f.Eval(x) * (1 + 1e-9)
 		s := cg.size
 		var px0, px1, py0, py1 int64
-		for pi, p := range [2]geom.Point{links[i].S, links[i].R} {
+		for pi := 0; pi < 2; pi++ {
+			px, py := b.sx[i], b.sy[i]
+			if pi == 1 {
+				px, py = b.rx[i], b.ry[i]
+			}
 			// Clamp the scan rectangle to the class's occupied-cell bounding
 			// box: cells outside it are empty, so clamping never drops a
 			// candidate, and it keeps a huge r (e.g. LogThreshold with α near
 			// 2, where r/size can exceed 1e6) from inflating the loop bounds.
-			x0 := clampCell(math.Floor((p.X-r)/s), cg.minCX, cg.maxCX)
-			x1 := clampCell(math.Floor((p.X+r)/s), cg.minCX, cg.maxCX)
-			y0 := clampCell(math.Floor((p.Y-r)/s), cg.minCY, cg.maxCY)
-			y1 := clampCell(math.Floor((p.Y+r)/s), cg.minCY, cg.maxCY)
+			x0 := clampCell(math.Floor((px-r)/s), cg.minCX, cg.maxCX)
+			x1 := clampCell(math.Floor((px+r)/s), cg.minCX, cg.maxCX)
+			y0 := clampCell(math.Floor((py-r)/s), cg.minCY, cg.maxCY)
+			y1 := clampCell(math.Floor((py+r)/s), cg.minCY, cg.maxCY)
 			// Both endpoints often clamp to the same rectangle (always, in
 			// the huge-radius regime where each covers the whole bounding
 			// box); the second scan would revisit every cell for nothing.
@@ -484,44 +631,76 @@ func searchLink(links []geom.Link, lens []float64, class []int, grids []*classGr
 				continue
 			}
 			px0, px1, py0, py1 = x0, x1, y0, y1
-			if float64(x1-x0+1)*float64(y1-y0+1) > float64(len(cg.cells)) {
-				// The rectangle holds more cells than the class occupies
+			if float64(x1-x0+1)*float64(y1-y0+1) > float64(len(cg.full)) {
+				// The rectangle holds more cells than the table has slots
 				// (sparse class spread over a wide extent): iterating it
-				// would mostly visit empty cells, so walk the occupied
-				// cells and test rectangle membership instead.
-				for k, cell := range cg.cells {
-					if k.x < x0 || k.x > x1 || k.y < y0 || k.y > y1 {
+				// would mostly probe empty cells, so walk the occupied
+				// slots and test rectangle membership instead.
+				for sl := range cg.full {
+					if !cg.full[sl] {
 						continue
 					}
-					scanCell(links, lens, f, i, ci == c, cell, stamp, out)
+					kx, ky := cg.keyX[sl], cg.keyY[sl]
+					if kx < x0 || kx > x1 || ky < y0 || ky > y1 {
+						continue
+					}
+					b.scanCell(i, ci == c, cg.members[cg.start[sl]:cg.start[sl+1]], stamp, out)
 				}
 				continue
 			}
 			for cx := x0; cx <= x1; cx++ {
 				for cy := y0; cy <= y1; cy++ {
-					scanCell(links, lens, f, i, ci == c, cg.cells[cellKey{cx, cy}], stamp, out)
+					b.scanCell(i, ci == c, cg.cellAt(cx, cy), stamp, out)
 				}
 			}
 		}
 	}
 }
 
-// scanCell runs the exact conflict test against every candidate in one
-// grid cell, recording the edges link i owns. Link lengths come from the
-// precomputed lens table, skipping Conflicting's per-pair hypot calls.
-func scanCell(links []geom.Link, lens []float64, f Func, i int32, sameClass bool,
+// scanCell runs the exact conflict test against every candidate in one grid
+// cell, recording the edges link i owns. Lengths come from the precomputed
+// lens table (no per-pair hypot), coordinates from the SoA arrays (no Link
+// struct loads), and for constant f (G_γ) the threshold skips the Eval
+// closure; the arithmetic — min over the four endpoint squared distances
+// against (l_min·f(l_max/l_min))² — is expression-identical to
+// conflictingLens, so the edge set matches BuildNaive bit-for-bit.
+func (b *bucketedSearch) scanCell(i int32, sameClass bool,
 	cell []int32, stamp []int32, out *[]edge) {
-	li := lens[i]
+	li := b.lens[i]
+	isx, isy := b.sx[i], b.sy[i]
+	irx, iry := b.rx[i], b.ry[i]
 	for _, j := range cell {
 		if j == i || (sameClass && j < i) || stamp[j] == i {
 			continue
 		}
 		stamp[j] = i
-		lmin, lmax := li, lens[j]
+		lmin, lmax := li, b.lens[j]
 		if lmin > lmax {
 			lmin, lmax = lmax, lmin
 		}
-		if conflictingLens(f, links[i], links[j], lmin, lmax) {
+		var thr float64
+		if b.fConst > 0 {
+			thr = lmin * b.fConst
+		} else {
+			thr = lmin * b.f.Eval(lmax/lmin)
+		}
+		jsx, jsy := b.sx[j], b.sy[j]
+		jrx, jry := b.rx[j], b.ry[j]
+		dx, dy := isx-jsx, isy-jsy
+		d := dx*dx + dy*dy
+		dx, dy = isx-jrx, isy-jry
+		if v := dx*dx + dy*dy; v < d {
+			d = v
+		}
+		dx, dy = irx-jsx, iry-jsy
+		if v := dx*dx + dy*dy; v < d {
+			d = v
+		}
+		dx, dy = irx-jrx, iry-jry
+		if v := dx*dx + dy*dy; v < d {
+			d = v
+		}
+		if d <= thr*thr {
 			*out = append(*out, edge{i, j})
 		}
 	}

@@ -98,9 +98,11 @@ func TestVerifyEngineSpec(t *testing.T) {
 	if rel := math.Abs(rf.Margin-rn.Margin) / rn.Margin; rel > 1e-9 {
 		t.Fatalf("margins diverge: %g vs %g", rf.Margin, rn.Margin)
 	}
-	// The fast run carries engine diagnostics; the naive run must not.
-	if rf.Timings.VerifyExactPairsFrac <= 0 || rf.Timings.VerifyExactPairsFrac > 1.5 {
-		t.Fatalf("fast exact_pairs_frac = %g, want (0, 1.5]", rf.Timings.VerifyExactPairsFrac)
+	// The fast run carries engine diagnostics; the naive run must not. The
+	// fraction is a true ratio of distinct-pair work: structurally ≤ 1,
+	// including across γ-escalation accumulation.
+	if rf.Timings.VerifyExactPairsFrac <= 0 || rf.Timings.VerifyExactPairsFrac > 1 {
+		t.Fatalf("fast exact_pairs_frac = %g, want (0, 1]", rf.Timings.VerifyExactPairsFrac)
 	}
 	if rn.Timings.VerifyExactLinks != 0 {
 		t.Fatalf("naive run reports engine stats: %+v", rn.Timings)

@@ -84,6 +84,13 @@ type Spec struct {
 	MaxGammaRetries int
 	// GammaStep is the escalation factor (default 1.5).
 	GammaStep float64
+	// NoIncrementalVerify disables the slot-margin cache that carries exact
+	// verdicts across γ-escalation attempts (the VerifySINRDelta path), so
+	// every attempt recomputes every slot. Purely a performance knob — the
+	// cache replays the engine's own exact margins for content-identical
+	// slots, so margins, verdicts, and error messages are the same either
+	// way — hence it does not participate in SpecKey.
+	NoIncrementalVerify bool
 }
 
 // Scenario is the deployment-generator dependency of the runner. It is the
@@ -275,6 +282,11 @@ type Instance struct {
 	// VerifySchedule can re-verify without re-deriving powers (and, under
 	// global power control, without re-solving cached slots).
 	pf schedule.PowerFunc
+	// vc is the incremental verification cache the escalation loop used
+	// (nil when Spec.NoIncrementalVerify or Verify was off); it holds the
+	// exact margin of every slot of the final schedule, so
+	// ReverifyIncremental answers from cached verdicts.
+	vc *schedule.VerifyCache
 }
 
 // VerifySchedule re-verifies the instance's final schedule with the named
@@ -296,6 +308,20 @@ func (in *Instance) VerifySchedule(engine string) (float64, schedule.VerifyStats
 		return 0, schedule.VerifyStats{}, fmt.Errorf("experiment: unknown verify engine %q (have %v)",
 			engine, schedule.Engines())
 	}
+}
+
+// ReverifyIncremental re-verifies the final schedule through the run's
+// incremental cache: every slot already certified during the escalation loop
+// answers from its cached exact margin, so a clean re-check of an unchanged
+// schedule does no engine work (VerifyStats.ReusedSlots == VerifyStats.Slots).
+// It falls back to a full recompute when the run kept no cache (naive engine,
+// Verify off, or Spec.NoIncrementalVerify). This is the warm path the bench
+// command reports as verify_warm_sec.
+func (in *Instance) ReverifyIncremental() (float64, schedule.VerifyStats, error) {
+	if in.Schedule == nil || in.pf == nil {
+		return 0, schedule.VerifyStats{}, fmt.Errorf("experiment: instance has no schedule to verify")
+	}
+	return in.Schedule.VerifySINRDelta(context.Background(), in.Spec.SINR, in.pf, in.vc)
 }
 
 // Timings records per-stage wall-clock seconds, plus the verification
@@ -323,7 +349,16 @@ type Timings struct {
 	// VerifyExactPairsFrac is the fraction of the naive O(m²) pairwise
 	// work the fast engine actually performed (near-field + fallback).
 	VerifyExactPairsFrac float64 `json:"verify_exact_pairs_frac,omitempty"`
-	TotalSec             float64 `json:"total_sec"`
+	// VerifyReusedSlots counts slot verifications answered from the
+	// incremental cache (content-identical slot seen on an earlier
+	// γ-escalation attempt), summed over attempts. Zero when incremental
+	// verification is disabled or no attempt shared a slot.
+	VerifyReusedSlots int64 `json:"verify_reused_slots,omitempty"`
+	// VerifyRefinedCells counts far-field cells the engine re-aggregated at
+	// tightened openings during adaptive refinement (its middle tier,
+	// between the coarse pyramid pass and the exact fallback).
+	VerifyRefinedCells int64 `json:"verify_refined_cells,omitempty"`
+	TotalSec           float64 `json:"total_sec"`
 }
 
 // Result is the JSON-ready metric record of one instance.
@@ -463,6 +498,7 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 		res.Timings.TotalSec = time.Since(start).Seconds()
 		res.Timings.VerifyExactLinks = engStats.ExactLinks
 		res.Timings.VerifyExactPairsFrac = engStats.ExactPairsFrac()
+		res.Timings.VerifyRefinedCells = engStats.RefinedCells
 	}()
 
 	// Stage-boundary cancellation points: the stages themselves (conflict
@@ -510,6 +546,13 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 	}
 
 	inst := &Instance{Spec: spec, Points: pts, Tree: tree, pf: pf}
+	if spec.Verify && !spec.NoIncrementalVerify && spec.VerifyEngine == schedule.EngineFast {
+		// One cache across all γ-escalation attempts: any slot the next
+		// attempt's schedule shares with a previous one (same membership,
+		// same powers) replays its exact margin instead of re-running the
+		// engine.
+		inst.vc = schedule.NewVerifyCache(spec.SINR)
+	}
 	gamma := spec.Gamma
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -557,9 +600,10 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 			margin, verr = sched.VerifySINRNaive(spec.SINR, pf)
 		} else {
 			var vst schedule.VerifyStats
-			margin, vst, verr = sched.VerifySINRCtx(ctx, spec.SINR, pf)
+			margin, vst, verr = sched.VerifySINRDelta(ctx, spec.SINR, pf, inst.vc)
 			engStats.Add(vst.Engine)
 			res.Timings.PowerSolveSec += vst.PowerSec
+			res.Timings.VerifyReusedSlots += int64(vst.ReusedSlots)
 			inst.VerifyStats = vst
 		}
 		res.Timings.VerifySec += time.Since(t0).Seconds()

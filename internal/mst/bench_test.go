@@ -1,0 +1,23 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"aggrate/internal/geom"
+)
+
+func BenchmarkEMSTLarge(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	n := 500000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Float64() * 1e6, Y: r.Float64() * 1e6}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e := EMST(pts); len(e) != n-1 {
+			b.Fatal("bad edge count")
+		}
+	}
+}

@@ -204,6 +204,15 @@ func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 	bestU := make([]int32, n)
 	bestV := make([]int32, n)
 	roots := make([]int32, 0, n)
+	// rootOf memoizes dsu.Find for the duration of one round (roots only
+	// change at the merge step), turning the O(candidates) Find calls of the
+	// ring search into array loads.
+	rootOf := make([]int32, n)
+	// cellRoot[c] is the common component root of every point in cell c, or
+	// -1 if the cell is empty or spans components. In later rounds most cells
+	// interior to a component are uniform, and the ring search skips them
+	// without touching their members — the bulk of the late-round work.
+	cellRoot := make([]int32, d0*d0)
 	// better reports whether candidate (d2, u, v) precedes the root's
 	// current best under Kruskal's order (weight, sorted endpoint pair).
 	better := func(r int, d2 float64, u, v int32) bool {
@@ -223,15 +232,32 @@ func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 		}
 		roots = roots[:0]
 		for i := 0; i < n; i++ {
-			if r := dsu.Find(i); r == i {
+			r := dsu.Find(i)
+			rootOf[i] = int32(r)
+			if r == i {
 				bestD2[i] = math.Inf(1)
 				bestU[i], bestV[i] = -1, -1
 				roots = append(roots, int32(i))
 			}
 		}
+		for c := 0; c < d0*d0; c++ {
+			s, e := starts[c], starts[c+1]
+			if s == e {
+				cellRoot[c] = -1
+				continue
+			}
+			cr := rootOf[members[s]]
+			for _, j := range members[s+1 : e] {
+				if rootOf[j] != cr {
+					cr = -1
+					break
+				}
+			}
+			cellRoot[c] = cr
+		}
 		// Minimum outgoing edge per component, via bounded ring search.
 		for i := 0; i < n; i++ {
-			r := dsu.Find(i)
+			r := int(rootOf[i])
 			p := pts[i]
 			cx, cy := cellIdx(p)
 			for ring := 0; ; ring++ {
@@ -265,8 +291,11 @@ func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 							continue
 						}
 						c := y*d0 + x
+						if int(cellRoot[c]) == r {
+							continue // every member is same-component
+						}
 						for _, j := range members[starts[c]:starts[c+1]] {
-							if dsu.Find(int(j)) == r {
+							if int(rootOf[j]) == r {
 								continue
 							}
 							d2 := p.Dist2(pts[j])

@@ -39,7 +39,12 @@ func Engines() []string { return []string{EngineFast, EngineNaive} }
 type VerifyStats struct {
 	// Slots counts the non-empty slots examined.
 	Slots int
-	// Engine aggregates the fast engine's work counters.
+	// ReusedSlots counts slots whose margin came from a VerifyCache hit
+	// (identical membership and powers as a previously verified slot), so
+	// no engine work was performed for them.
+	ReusedSlots int
+	// Engine aggregates the fast engine's work counters over the slots
+	// actually computed (cache hits contribute nothing).
 	Engine sinr.EngineStats
 	// PowerSec is the wall-clock spent in the PowerFunc, summed over slots.
 	PowerSec float64
@@ -47,6 +52,72 @@ type VerifyStats struct {
 	// slots. Both sums add per-slot times, so under parallel verification
 	// they can exceed the elapsed wall-clock by up to the worker count.
 	MarginSec float64
+}
+
+// slotKey is the content hash of one slot: its size plus two independent
+// order-insensitive 64-bit mixes over the members' (global link index,
+// power bits) pairs. Slot membership is a set and the experiment layer's
+// power functions are content-determined, so two slots with equal keys are
+// (collision aside, ~2⁻¹²⁸) the same verification problem over the same
+// link set.
+type slotKey struct {
+	sum, xor uint64
+	m        int32
+}
+
+// mix64 is the splitmix64 finalizer, a cheap full-avalanche 64-bit mix.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashSlot returns the order-insensitive content key of (slot, powers).
+// Commutative accumulation (sum and rotated xor of per-member mixes) makes
+// the key independent of member order, though every scheduler strategy
+// emits slots in increasing link-index order anyway (the stable-slot-order
+// contract tested in internal/scheduler).
+func hashSlot(slot []int, powers []float64) slotKey {
+	var k slotKey
+	k.m = int32(len(slot))
+	for i, g := range slot {
+		h := mix64(uint64(g)*0x9e3779b97f4a7c15 ^ math.Float64bits(powers[i]))
+		k.sum += h
+		k.xor ^= h<<(h&63) | h>>(64-h&63)
+	}
+	return k
+}
+
+// VerifyCache memoizes exact slot margins by content key, enabling the
+// incremental VerifySINRDelta path: re-verifying a schedule that shares
+// slots with a previously verified one (γ-escalation retries, the service's
+// re-verify hook, delta re-checks after slot edits) recomputes only the
+// slots whose membership or powers actually changed.
+//
+// A cache is only meaningful across verifications over the same link set
+// and SINR params it was created for; VerifySINRDelta falls back to a full
+// recompute (never a wrong answer) when the params disagree. The caller
+// must not reuse a cache across different link sets — keys are global link
+// indices, so equal keys would alias different geometry.
+type VerifyCache struct {
+	p       sinr.Params
+	margins map[slotKey]float64
+}
+
+// NewVerifyCache returns an empty cache bound to the given params.
+func NewVerifyCache(p sinr.Params) *VerifyCache {
+	return &VerifyCache{p: p, margins: make(map[slotKey]float64)}
+}
+
+// Len reports the number of cached slot margins.
+func (vc *VerifyCache) Len() int {
+	if vc == nil {
+		return 0
+	}
+	return len(vc.margins)
 }
 
 // VerifySINR checks that every slot of the schedule is SINR-feasible under
@@ -71,16 +142,36 @@ func (s *Schedule) VerifySINRFast(p sinr.Params, pf PowerFunc) (float64, VerifyS
 // (0, partial stats, ctx.Err()) — never a feasibility verdict, since an
 // unknown set of slots went unexamined.
 func (s *Schedule) VerifySINRCtx(ctx context.Context, p sinr.Params, pf PowerFunc) (float64, VerifyStats, error) {
+	return s.VerifySINRDelta(ctx, p, pf, nil)
+}
+
+// VerifySINRDelta is VerifySINRCtx with incremental re-verification: slots
+// whose content key (membership + powers) is present in vc reuse the cached
+// exact margin and skip the engine entirely; freshly computed margins are
+// added to vc afterwards (including on infeasible schedules, so the next
+// γ-escalation attempt reuses every slot it kept). A nil vc — or one bound
+// to different params — degrades to a full recompute. Margins, verdicts,
+// error messages, and stats determinism are identical with and without a
+// cache, because cached values are the engine's own exact margins for
+// identical slot content. vc must not be shared between concurrent
+// verifications.
+func (s *Schedule) VerifySINRDelta(ctx context.Context, p sinr.Params, pf PowerFunc, vc *VerifyCache) (float64, VerifyStats, error) {
 	var st VerifyStats
+	if vc != nil && vc.p != p {
+		vc = nil
+	}
 	eng := sinr.NewEngine(p, s.Links)
 	type slotOut struct {
 		margin              float64
 		stats               sinr.EngineStats
 		powerSec, marginSec float64
 		pfErr, mErr         error
+		key                 slotKey
 		// ran marks slots a worker actually examined — the cancelled-path
 		// stats must not count slots that were never dispatched.
 		ran bool
+		// reused marks cache hits (no engine work, nothing to re-insert).
+		reused bool
 	}
 	outs := make([]slotOut, len(s.Slots))
 	// failCut is the lowest slot index so far found infeasible (or errored).
@@ -111,6 +202,18 @@ func (s *Schedule) VerifySINRCtx(ctx context.Context, p sinr.Params, pf PowerFun
 					lowerCut(&failCut, int64(k))
 					continue
 				}
+				if vc != nil {
+					// The map is read-only for the whole fan-out (inserts
+					// happen after it), so concurrent lookups are safe.
+					o.key = hashSlot(slot, powers)
+					if mg, ok := vc.margins[o.key]; ok {
+						o.margin, o.reused = mg, true
+						if mg < 1 {
+							lowerCut(&failCut, int64(k))
+						}
+						continue
+					}
+				}
 				t0 = time.Now()
 				o.margin, o.mErr = eng.MarginSlot(slot, powers, sc, &o.stats)
 				o.marginSec = time.Since(t0).Seconds()
@@ -121,15 +224,31 @@ func (s *Schedule) VerifySINRCtx(ctx context.Context, p sinr.Params, pf PowerFun
 		}
 	})
 
+	// Record freshly computed margins — on every exit path, in slot order.
+	// Caching the feasible slots of an infeasible schedule is the point of
+	// the γ-escalation reuse: the next attempt skips every slot it kept.
+	if vc != nil {
+		for k := range outs {
+			o := &outs[k]
+			if o.ran && !o.reused && o.pfErr == nil && o.mErr == nil {
+				vc.margins[o.key] = o.margin
+			}
+		}
+	}
+
 	if err != nil {
 		// Cancelled mid-fan-out: an unknown subset of slots never ran, so the
 		// zero-valued outs must not be read as margins. Partial stats cover
-		// only the slots a worker actually examined (work performed).
+		// only the slots a worker actually examined (work performed), summed
+		// in slot order so the report is deterministic for a fixed ran set.
 		for k := range outs {
 			if !outs[k].ran {
 				continue
 			}
 			st.Slots++
+			if outs[k].reused {
+				st.ReusedSlots++
+			}
 			st.Engine.Add(outs[k].stats)
 			st.PowerSec += outs[k].powerSec
 			st.MarginSec += outs[k].marginSec
@@ -150,6 +269,9 @@ func (s *Schedule) VerifySINRCtx(ctx context.Context, p sinr.Params, pf PowerFun
 		}
 		o := &outs[k]
 		st.Slots++
+		if o.reused {
+			st.ReusedSlots++
+		}
 		st.Engine.Add(o.stats)
 		st.PowerSec += o.powerSec
 		st.MarginSec += o.marginSec

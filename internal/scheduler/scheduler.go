@@ -130,6 +130,13 @@ type Diag struct {
 // the conflict-graph build at a chunk boundary and returns ctx.Err() instead
 // of a schedule. Results are deterministic in (links, cfg) whenever ctx does
 // not fire.
+//
+// Every strategy also honors the stable-slot-order contract: each emitted
+// slot lists its members in strictly increasing link-index order. The
+// incremental verification cache (schedule.VerifyCache) hashes slot content
+// order-insensitively, so correctness never depends on this — but stable
+// order keeps schedules byte-comparable across runs and strategies, and the
+// invariant is pinned by TestStableSlotOrder.
 type Strategy interface {
 	Name() string
 	Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error)

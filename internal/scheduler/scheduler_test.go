@@ -221,6 +221,35 @@ func TestScheduleInvariants(t *testing.T) {
 	}
 }
 
+// TestStableSlotOrder pins the stable-slot-order contract documented on
+// Strategy: every strategy, on every graph kind, emits each slot's members
+// in strictly increasing link-index order. schedule.VerifyCache hashes slots
+// order-insensitively so correctness does not hinge on this, but the
+// contract keeps schedules byte-comparable and cheap to diff.
+func TestStableSlotOrder(t *testing.T) {
+	for _, preset := range []string{"uniform", "cluster", "annulus"} {
+		links := instanceLinks(t, preset, 150, 9)
+		for _, gk := range []string{GraphGamma, GraphOblivious, GraphArbitrary} {
+			cfg := defaultConfig()
+			cfg.Graph = gk
+			for _, s := range All() {
+				sched, _, err := s.Schedule(context.Background(), links, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", preset, gk, s.Name(), err)
+				}
+				for k, slot := range sched.Slots {
+					for j := 1; j < len(slot); j++ {
+						if slot[j] <= slot[j-1] {
+							t.Fatalf("%s/%s/%s: slot %d not in increasing link order at %d: %v",
+								preset, gk, s.Name(), k, j, slot)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestStrategiesDeterministic: same inputs, same schedule — byte-for-byte.
 func TestStrategiesDeterministic(t *testing.T) {
 	links := instanceLinks(t, "uniform", 200, 7)

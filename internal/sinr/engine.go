@@ -1,33 +1,38 @@
 // Engine is the fast SINR verification kernel behind
 // (*schedule.Schedule).VerifySINR. The naive Margin does exact O(m²)
 // pairwise interference per slot with a fresh math.Pow on every pair; the
-// engine cuts the hot path to near-linear in three layers while keeping
+// engine cuts the hot path to near-linear in three tiers while keeping
 // every returned verdict and margin exact:
 //
-//  1. Cached-gain kernel. Per-link l_i^α is computed once per schedule
-//     (NewEngine); on the hot path all distances stay squared and are raised
-//     to α via (d²)^(α/2) with closed forms for α ∈ {2, 3, 4}, so the
-//     generic math.Pow survives only for fractional exponents.
+//  1. Far-field pyramid. Each slot's senders are bucketed into a dyadic
+//     grid pyramid (the same dyadic machinery style as the internal/conflict
+//     build: a power-of-two base grid plus coarser levels merging 2×2
+//     children). For a receiver, any pyramid node whose sender bounding box
+//     is far relative to its size — max/min squared distance within a factor
+//     θ² — contributes its total power mass over [maxdist, mindist], giving
+//     a certified interval for the interference and hence for the link's
+//     SINR margin. Nearby nodes are opened; base cells are summed exactly.
+//     The first pass runs every link with a deliberately coarse θ, so the
+//     near field stays tiny and the descent costs O(near + log m) per link.
 //
-//  2. Grid-aggregated far-field bound. Each slot's senders are bucketed into
-//     a dyadic grid pyramid (the same dyadic machinery style as the
-//     internal/conflict build: a power-of-two base grid plus coarser levels
-//     merging 2×2 children). For a receiver, any pyramid node whose
-//     sender bounding box is far relative to its size — max/min squared
-//     distance within a factor θ² — contributes its total power mass over
-//     [maxdist, mindist], giving a certified interval for the interference
-//     and hence for the link's SINR margin. Nearby nodes are opened; base
-//     cells are summed exactly. A Barnes–Hut-style descent therefore costs
-//     O(near + log m) per link instead of O(m).
+//  2. Adaptive cell refinement. The slot's worst margin is the minimum over
+//     links, so only links whose margin interval reaches below the smallest
+//     interval upper bound U can attain it. Instead of falling straight to
+//     exact pairwise for those, the engine re-descends just the straddling
+//     links with progressively tighter θ from engineThetaLadder — splitting
+//     the cells that were aggregated before — until the candidate set stops
+//     shrinking or a tighter pass would cost more than the exact row.
+//     Intervals at every rung are certified, so mixing rungs is sound.
 //
-//  3. Exact fallback. The slot's worst margin is the minimum over links, so
-//     only links whose margin interval reaches below the smallest interval
-//     upper bound U can attain it; exactly those links (a small set, since
-//     margins spread while intervals are narrow) are re-evaluated by the
-//     exact pairwise sum, in slot order like the naive path. Every interval
-//     is padded by a relative 1e-9 so floating-point slop between the two
-//     arithmetic styles can never eject the true argmin from the candidate
-//     set — the returned margin is always an exactly-computed one.
+//  3. SoA exact kernels. Links still straddling after the ladder are
+//     resolved by the exact pairwise sum, in slot order like the naive
+//     path. Both this fallback and the near-field cell sums run on flat
+//     structure-of-arrays float64 loops (separate x/y/power slices,
+//     cell-ordered copies, no per-link struct loads) specialized per
+//     α ∈ {2, 3, 4} with a math.Pow generic fallback. Every interval is
+//     padded by a relative 1e-9 so floating-point slop between the interval
+//     and exact arithmetic can never eject the true argmin from the
+//     candidate set — the returned margin is always an exactly-computed one.
 //
 // Determinism: MarginSlot is a pure function of (params, links, slot,
 // powers); scratch and stats only carry reusable buffers and counters.
@@ -50,15 +55,30 @@ const intervalPad = 1e-9
 
 // engineExactCutoff is the slot size at or below which the grid is not worth
 // building and the engine runs the exact pairwise evaluation directly (still
-// on the cached-gain kernel, so small slots skip per-pair math.Pow too).
+// on the cached-gain SoA kernels, so small slots skip per-pair math.Pow too).
 const engineExactCutoff = 64
 
-// engineTheta2 is the squared opening threshold θ²: a pyramid node is
-// aggregated when maxdist² ≤ θ²·mindist², i.e. its power mass is localized
-// within a factor θ of its distance, bounding the per-node interval ratio by
-// θ^α. Smaller θ tightens intervals (fewer exact fallbacks) but opens more
-// nodes; θ = 1.15 balances the two on the experiment scenarios.
-const engineTheta2 = 1.15 * 1.15
+// engineThetaLadder2 holds the squared opening thresholds θ² of the adaptive
+// descent, coarsest first. A pyramid node is aggregated when
+// maxdist² ≤ θ²·mindist², i.e. its power mass is localized within a factor θ
+// of its distance, bounding the per-node interval ratio by θ^α. The first
+// rung runs every link: θ=2 keeps the near field to a handful of cells.
+// Later rungs re-descend only candidate links — straddlers of the slot
+// minimum — trading a (θ−1)⁻² blowup of the near field for interval ratios
+// that approach 1 and evict almost all candidates before the exact fallback.
+var engineThetaLadder2 = [...]float64{
+	2.0 * 2.0,
+	1.5 * 1.5,
+	1.25 * 1.25,
+	1.12 * 1.12,
+	1.06 * 1.06,
+	1.03 * 1.03,
+}
+
+// engineRefineMin is the candidate-set size at or below which refinement
+// stops and the engine resolves the stragglers exactly — a few exact rows
+// are cheaper than another descent pass.
+const engineRefineMin = 4
 
 // engineMaxGridDim caps the base-grid resolution (memory is O(dim²)).
 const engineMaxGridDim = 1024
@@ -105,11 +125,11 @@ func NewEngine(p Params, links []geom.Link) *Engine {
 }
 
 // powD2 returns (d2)^(α/2) = d^α for the squared distance d2. Only the
-// default α=3 path is kept small enough to inline into the pairwise loops
-// (math.Sqrt compiles to a single instruction); α=2, α=4 and the generic
-// fractional exponent pay an out-of-line call via powD2Slow — adding them
-// here would push powD2 past the inlining budget and cost the α=3 hot
-// path its inlining.
+// default α=3 path is kept small enough to inline into the descent's
+// far-node bounds (math.Sqrt compiles to a single instruction); α=2, α=4
+// and the generic fractional exponent pay an out-of-line call via powD2Slow.
+// The pairwise sums never come through here — they use the per-α rowSum
+// kernels below.
 func (e *Engine) powD2(d2 float64) float64 {
 	if e.powMode == powAlpha3 {
 		return d2 * math.Sqrt(d2)
@@ -131,9 +151,87 @@ func (e *Engine) powD2Slow(d2 float64) float64 {
 	return math.Pow(d2, e.alphaHalf)
 }
 
+// rowSum accumulates Σ_j pw[j]/dist(p_j, q)^α into acc over the flat sender
+// arrays, dispatching to the α-specialized SoA kernels. The kernels add
+// terms in slice order, so callers control summation order exactly (the
+// naive-parity contract).
+func (e *Engine) rowSum(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	switch e.powMode {
+	case powAlpha3:
+		return rowSumA3(acc, px, py, pw, qx, qy)
+	case powAlpha2:
+		return rowSumA2(acc, px, py, pw, qx, qy)
+	case powAlpha4:
+		return rowSumA4(acc, px, py, pw, qx, qy)
+	}
+	return e.rowSumGeneric(acc, px, py, pw, qx, qy)
+}
+
+// rowSumA3 is the α=3 kernel: d³ = d²·√d². The py/pw reslices pin their
+// lengths to len(px) so the compiler drops the per-iteration bounds checks
+// and keeps the accumulator in a register.
+func rowSumA3(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	py = py[:len(px)]
+	pw = pw[:len(px)]
+	for j := range px {
+		dx := px[j] - qx
+		dy := py[j] - qy
+		d2 := dx*dx + dy*dy
+		acc += pw[j] / (d2 * math.Sqrt(d2))
+	}
+	return acc
+}
+
+// rowSumA2 is the α=2 kernel: d² directly.
+func rowSumA2(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	py = py[:len(px)]
+	pw = pw[:len(px)]
+	for j := range px {
+		dx := px[j] - qx
+		dy := py[j] - qy
+		acc += pw[j] / (dx*dx + dy*dy)
+	}
+	return acc
+}
+
+// rowSumA4 is the α=4 kernel: d⁴ = (d²)².
+func rowSumA4(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	py = py[:len(px)]
+	pw = pw[:len(px)]
+	for j := range px {
+		dx := px[j] - qx
+		dy := py[j] - qy
+		d2 := dx*dx + dy*dy
+		acc += pw[j] / (d2 * d2)
+	}
+	return acc
+}
+
+// rowSumGeneric handles fractional exponents via math.Pow.
+func (e *Engine) rowSumGeneric(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	py = py[:len(px)]
+	pw = pw[:len(px)]
+	for j := range px {
+		dx := px[j] - qx
+		dy := py[j] - qy
+		acc += pw[j] / math.Pow(dx*dx+dy*dy, e.alphaHalf)
+	}
+	return acc
+}
+
 // EngineStats counts the work the engine performed, for diagnostics and the
 // bench artifact. All fields are exact sums over the verified slots and are
 // deterministic in the input regardless of slot-level parallelism.
+//
+// The pair counters use per-link distinct-pair semantics: each link
+// contributes the pairwise terms of the single evaluation that produced its
+// final margin or interval — m−1 ExactPairs if it fell to the exact row,
+// otherwise the near-field pairs of its last (tightest) descent. Work from
+// superseded coarser descents is not counted, so
+// ExactPairs+NearPairs ≤ NaivePairs and ExactPairsFrac ≤ 1 hold structurally,
+// including when stats are accumulated across γ-escalation retries with Add
+// (both numerator and denominator grow together, keeping the ratio a
+// weighted mean of per-pass ratios).
 type EngineStats struct {
 	// Links counts link-slot SINR evaluations.
 	Links int64
@@ -141,31 +239,44 @@ type EngineStats struct {
 	// (including every link of slots at or below the small-slot cutoff).
 	ExactLinks int64
 	// ExactPairs counts pairwise interference terms evaluated by the
-	// fallback.
+	// fallback: m−1 per exact link.
 	ExactPairs int64
 	// NearPairs counts pairwise terms evaluated exactly in the near field
-	// of the grid pass.
+	// of the final descent of links that did not fall to the exact row.
 	NearPairs int64
-	// FarNodes counts pyramid nodes accepted by the far-field bound.
+	// FarNodes counts pyramid nodes accepted by the far-field bound across
+	// all descent passes (a work counter, not a pair fraction).
 	FarNodes int64
+	// RefinedLinks counts refined link descents: one per link per
+	// tighter-θ ladder rung it was re-descended at.
+	RefinedLinks int64
+	// RefinedCells counts base cells opened (summed exactly) during
+	// refined descents.
+	RefinedCells int64
 	// NaivePairs counts the pairwise terms the naive path would have
 	// evaluated: Σ_slots m·(m−1).
 	NaivePairs int64
 }
 
-// Add accumulates o into st.
+// Add accumulates o into st. This is the γ-retry accumulation path: Timings
+// report stats summed over every verification pass of an instance, and the
+// ExactPairsFrac ≤ 1 invariant is preserved because numerator and
+// denominator fields accumulate together.
 func (st *EngineStats) Add(o EngineStats) {
 	st.Links += o.Links
 	st.ExactLinks += o.ExactLinks
 	st.ExactPairs += o.ExactPairs
 	st.NearPairs += o.NearPairs
 	st.FarNodes += o.FarNodes
+	st.RefinedLinks += o.RefinedLinks
+	st.RefinedCells += o.RefinedCells
 	st.NaivePairs += o.NaivePairs
 }
 
 // ExactPairsFrac returns the fraction of the naive pairwise work the engine
-// actually performed ((near + fallback pairs) / naive pairs), the headline
-// "how much O(m²) survived" diagnostic. Zero when no pairs were required.
+// performed for the evaluations that produced final margins
+// ((near + fallback pairs) / naive pairs), the headline "how much O(m²)
+// survived" diagnostic. Always in [0, 1]; zero when no pairs were required.
 func (st EngineStats) ExactPairsFrac() float64 {
 	if st.NaivePairs == 0 {
 		return 0
@@ -192,6 +303,7 @@ type EngineScratch struct {
 	lb, ub []float64 // certified margin interval per member
 
 	cellOf  []int32 // base-grid cell of each member's sender
+	posOf   []int32 // position of each member in the cell-ordered arrays
 	starts  []int32 // CSR cell offsets into members
 	fill    []int32 // CSR fill cursors (build-time only)
 	members []int32 // member indices grouped by base cell
@@ -199,11 +311,15 @@ type EngineScratch struct {
 	// near-field sums of the interval descent scan contiguous memory.
 	cpx, cpy, cpw []float64
 
+	near []int32 // near pairs of each member's latest descent
+	cand []int32 // current candidate members (ascending)
+
 	nodes    []engineNode // pyramid, level-major from the base grid up
 	levelOff []int        // node offset of each pyramid level
 	stack    []nodeRef    // descent stack
 
 	d0         int     // base-grid dimension (power of two)
+	nonEmpty   int     // non-empty base cells
 	invCS      float64 // 1 / cell size
 	gridOX     float64 // grid origin (sender bbox min corner)
 	gridOY     float64
@@ -228,18 +344,37 @@ func (sc *EngineScratch) reserve(m int) {
 		sc.lb = make([]float64, m)
 		sc.ub = make([]float64, m)
 		sc.cellOf = make([]int32, m)
+		sc.posOf = make([]int32, m)
 		sc.members = make([]int32, m)
 		sc.cpx = make([]float64, m)
 		sc.cpy = make([]float64, m)
 		sc.cpw = make([]float64, m)
+		sc.near = make([]int32, m)
+		sc.cand = make([]int32, m)
 	}
 	sc.px, sc.py = sc.px[:m], sc.py[:m]
 	sc.qx, sc.qy = sc.qx[:m], sc.qy[:m]
 	sc.pw, sc.sig = sc.pw[:m], sc.sig[:m]
 	sc.lb, sc.ub = sc.lb[:m], sc.ub[:m]
 	sc.cellOf = sc.cellOf[:m]
+	sc.posOf = sc.posOf[:m]
 	sc.members = sc.members[:m]
 	sc.cpx, sc.cpy, sc.cpw = sc.cpx[:m], sc.cpy[:m], sc.cpw[:m]
+	sc.near = sc.near[:m]
+	sc.cand = sc.cand[:0]
+}
+
+// refineCost estimates the near-field pairs of one descent at opening
+// threshold θ: the base cells within the non-aggregable radius
+// (≈ (θ+1)/(θ−1) half-diagonals) times the mean occupancy of non-empty
+// cells. Used to stop the ladder when a tighter pass would cost more than
+// the exact row it is trying to avoid.
+func (sc *EngineScratch) refineCost(theta2 float64, m int) float64 {
+	theta := math.Sqrt(theta2)
+	r := 0.71*(theta+1)/(theta-1) + 1 // cell radius of the near field
+	cells := math.Pi * r * r
+	occ := float64(m) / float64(max(sc.nonEmpty, 1))
+	return cells * occ
 }
 
 // MarginSlot returns the exact worst-case SINR margin (min over the slot's
@@ -276,29 +411,52 @@ func (e *Engine) MarginSlot(idx []int, power []float64, sc *EngineScratch, st *E
 		return e.exactAll(sc, m, st), nil
 	}
 
-	// Interval pass: a certified [lb, ub] margin interval per link.
+	// Tier 1 — coarse interval pass: a certified [lb, ub] margin interval
+	// per link at the widest θ.
 	for k := 0; k < m; k++ {
-		e.interval(sc, k, st)
+		e.descend(sc, k, engineThetaLadder2[0], false, st)
 	}
 	// Only links whose interval reaches below the smallest upper bound can
-	// attain the slot minimum; resolve exactly those with the exact sum.
-	u := math.Inf(1)
-	for k := 0; k < m; k++ {
-		if sc.ub[k] < u {
-			u = sc.ub[k]
+	// attain the slot minimum.
+	cand := e.candidates(sc, m)
+
+	// Tier 2 — adaptive refinement: re-descend just the straddlers with
+	// tighter θ until the set is tiny or a pass would out-cost exact rows.
+	for rung := 1; rung < len(engineThetaLadder2) && len(cand) > engineRefineMin; rung++ {
+		th2 := engineThetaLadder2[rung]
+		if sc.refineCost(th2, m) >= float64(m-1)/2 {
+			break
 		}
+		for _, k := range cand {
+			e.descend(sc, int(k), th2, true, st)
+		}
+		st.RefinedLinks += int64(len(cand))
+		next := e.candidates(sc, m)
+		if len(next) >= len(cand) {
+			// No progress: the remaining straddlers are genuinely close to
+			// the minimum; tighter rungs only add cost.
+			cand = next
+			break
+		}
+		cand = next
 	}
+
+	// Tier 3 — exact fallback for the remaining candidates, in slot order
+	// like the naive path.
 	worst := math.Inf(1)
 	resolved := false
-	for k := 0; k < m; k++ {
-		if sc.lb[k] > u {
-			continue
-		}
+	for _, k := range cand {
 		st.ExactLinks++
 		st.ExactPairs += int64(m - 1)
+		sc.near[k] = -1 // superseded by the exact row
 		resolved = true
-		if mg := e.exactOne(sc, m, k); mg < worst {
+		if mg := e.exactOne(sc, m, int(k)); mg < worst {
 			worst = mg
+		}
+	}
+	for k := 0; k < m; k++ {
+		if sc.near[k] >= 0 {
+			st.NearPairs += int64(sc.near[k])
 		}
 	}
 	if !resolved {
@@ -309,19 +467,34 @@ func (e *Engine) MarginSlot(idx []int, power []float64, sc *EngineScratch, st *E
 	return worst, nil
 }
 
+// candidates rebuilds the straddler set: members whose margin lower bound
+// does not exceed the smallest certified upper bound. The set is in
+// ascending member order, so the exact fallback preserves naive slot order.
+func (e *Engine) candidates(sc *EngineScratch, m int) []int32 {
+	u := math.Inf(1)
+	for k := 0; k < m; k++ {
+		if sc.ub[k] < u {
+			u = sc.ub[k]
+		}
+	}
+	cand := sc.cand[:0]
+	for k := 0; k < m; k++ {
+		if sc.lb[k] <= u {
+			cand = append(cand, int32(k))
+		}
+	}
+	sc.cand = cand
+	return cand
+}
+
 // exactOne computes the exact margin of slot member k by the full pairwise
-// sum, in slot order like the naive path.
+// sum. The two range splits around k reproduce the naive path's j-order
+// accumulation (j < k, then j > k) term for term.
 func (e *Engine) exactOne(sc *EngineScratch, m, k int) float64 {
 	intf := e.p.Noise
 	qxk, qyk := sc.qx[k], sc.qy[k]
-	for j := 0; j < m; j++ {
-		if j == k {
-			continue
-		}
-		dx := sc.px[j] - qxk
-		dy := sc.py[j] - qyk
-		intf += sc.pw[j] / e.powD2(dx*dx+dy*dy)
-	}
+	intf = e.rowSum(intf, sc.px[:k], sc.py[:k], sc.pw[:k], qxk, qyk)
+	intf = e.rowSum(intf, sc.px[k+1:m], sc.py[k+1:m], sc.pw[k+1:m], qxk, qyk)
 	if intf == 0 {
 		return math.Inf(1)
 	}
@@ -342,15 +515,14 @@ func (e *Engine) exactAll(sc *EngineScratch, m int, st *EngineStats) float64 {
 }
 
 // gridDim returns the base-grid dimension for a slot of m senders: the
-// smallest power of two whose square is at least m/32 (≈32 senders per cell
-// on uniform inputs), clamped to [4, engineMaxGridDim]. Coarser cells keep
-// the descent short — the near field is a contiguous cache-friendly sum, so
-// trading descent control flow for ~9×32 exact pairs per link is a sizable
-// sequential win (≈1.6× on the n=20k verification) while the far field
-// still collapses the quadratic tail.
+// smallest power of two whose square is at least m/8 (≈8 senders per cell
+// on uniform inputs), clamped to [4, engineMaxGridDim]. Finer cells than
+// the old 32-per-cell target pay off twice under the adaptive ladder: the
+// coarse first pass touches few cells regardless, and the refined rungs —
+// whose near field grows as (θ−1)⁻² cells — keep each opened cell cheap.
 func gridDim(m int) int {
 	d := 4
-	for d < engineMaxGridDim && d*d*32 < m {
+	for d < engineMaxGridDim && d*d*8 < m {
 		d <<= 1
 	}
 	return d
@@ -418,7 +590,11 @@ func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
 		n.mass += sc.pw[k]
 		sc.starts[sc.cellOf[k]+1]++
 	}
+	sc.nonEmpty = 0
 	for c := 0; c < d0*d0; c++ {
+		if sc.starts[c+1] > 0 {
+			sc.nonEmpty++
+		}
 		sc.starts[c+1] += sc.starts[c]
 	}
 	if cap(sc.fill) < d0*d0 {
@@ -430,6 +606,7 @@ func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
 		c := sc.cellOf[k]
 		t := sc.fill[c]
 		sc.members[t] = int32(k)
+		sc.posOf[k] = t
 		sc.cpx[t], sc.cpy[t], sc.cpw[t] = sc.px[k], sc.py[k], sc.pw[k]
 		sc.fill[c]++
 	}
@@ -478,12 +655,14 @@ func cellCoord(off, invCS float64, d0 int) int {
 	return c
 }
 
-// interval computes the certified margin interval of slot member k by a
-// Barnes–Hut-style descent of the pyramid: far nodes contribute aggregated
-// power-mass bounds, near base cells are summed exactly, and the member's
-// own sender is excluded wherever it lands (by identity in exact cells, by
-// mass subtraction in aggregated nodes).
-func (e *Engine) interval(sc *EngineScratch, k int, st *EngineStats) {
+// descend computes the certified margin interval of slot member k by a
+// Barnes–Hut-style descent of the pyramid at opening threshold theta2:
+// far nodes contribute aggregated power-mass bounds, near base cells are
+// summed exactly on the SoA kernels, and the member's own sender is
+// excluded wherever it lands (by position in exact cells, by mass
+// subtraction in aggregated nodes). It overwrites sc.lb[k], sc.ub[k] and
+// sc.near[k]; refined marks tighter-ladder passes for the work counters.
+func (e *Engine) descend(sc *EngineScratch, k int, theta2 float64, refined bool, st *EngineStats) {
 	d0 := sc.d0
 	top := len(sc.levelOff) - 1
 	selfCX := int32(int(sc.cellOf[k]) % d0)
@@ -491,7 +670,7 @@ func (e *Engine) interval(sc *EngineScratch, k int, st *EngineStats) {
 	qxk, qyk := sc.qx[k], sc.qy[k]
 	nodes, levelOff := sc.nodes, sc.levelOff
 	stack := sc.stack[:0]
-	var farNodes, nearPairs int64
+	var farNodes, nearPairs, nearCells int64
 
 	var exact, lo, hi float64
 	stack = append(stack, nodeRef{int32(top), 0, 0})
@@ -522,7 +701,7 @@ func (e *Engine) interval(sc *EngineScratch, k int, st *EngineStats) {
 		fx := max(qxk-n.minX, n.maxX-qxk)
 		fy := max(qyk-n.minY, n.maxY-qyk)
 		maxd2 := fx*fx + fy*fy
-		if mind2 > 0 && maxd2 <= engineTheta2*mind2 {
+		if mind2 > 0 && maxd2 <= theta2*mind2 {
 			if mass > 0 {
 				farNodes++
 				lo += mass / e.powD2(maxd2)
@@ -536,17 +715,15 @@ func (e *Engine) interval(sc *EngineScratch, k int, st *EngineStats) {
 			// through the member indices.
 			c := int(nr.y)*d0 + int(nr.x)
 			t0, t1 := sc.starts[c], sc.starts[c+1]
-			for t := t0; t < t1; t++ {
-				if int(sc.members[t]) == k {
-					continue
-				}
-				ddx := sc.cpx[t] - qxk
-				ddy := sc.cpy[t] - qyk
-				exact += sc.cpw[t] / e.powD2(ddx*ddx+ddy*ddy)
-			}
-			nearPairs += int64(t1 - t0)
+			nearCells++
 			if int32(c) == sc.cellOf[k] {
-				nearPairs-- // the member itself is skipped, not a pair
+				tk := sc.posOf[k]
+				exact = e.rowSum(exact, sc.cpx[t0:tk], sc.cpy[t0:tk], sc.cpw[t0:tk], qxk, qyk)
+				exact = e.rowSum(exact, sc.cpx[tk+1:t1], sc.cpy[tk+1:t1], sc.cpw[tk+1:t1], qxk, qyk)
+				nearPairs += int64(t1 - t0 - 1)
+			} else {
+				exact = e.rowSum(exact, sc.cpx[t0:t1], sc.cpy[t0:t1], sc.cpw[t0:t1], qxk, qyk)
+				nearPairs += int64(t1 - t0)
 			}
 			continue
 		}
@@ -566,7 +743,10 @@ func (e *Engine) interval(sc *EngineScratch, k int, st *EngineStats) {
 	}
 	sc.stack = stack
 	st.FarNodes += farNodes
-	st.NearPairs += nearPairs
+	if refined {
+		st.RefinedCells += nearCells
+	}
+	sc.near[k] = int32(nearPairs)
 
 	iLo := exact + lo + e.p.Noise
 	iHi := exact + hi + e.p.Noise

@@ -243,17 +243,52 @@ func TestEngineScratchReuse(t *testing.T) {
 // TestEngineStatsAccumulate: Add must sum every counter and ExactPairsFrac
 // must be exact-work over naive-work.
 func TestEngineStatsAccumulate(t *testing.T) {
-	a := EngineStats{Links: 1, ExactLinks: 2, ExactPairs: 3, NearPairs: 4, FarNodes: 5, NaivePairs: 6}
+	a := EngineStats{Links: 1, ExactLinks: 2, ExactPairs: 3, NearPairs: 4,
+		FarNodes: 5, RefinedLinks: 6, RefinedCells: 7, NaivePairs: 12}
 	b := a
 	b.Add(a)
-	if b != (EngineStats{2, 4, 6, 8, 10, 12}) {
+	if b != (EngineStats{2, 4, 6, 8, 10, 12, 14, 24}) {
 		t.Fatalf("Add = %+v", b)
 	}
-	if got := b.ExactPairsFrac(); got != float64(6+8)/12 {
+	if got := b.ExactPairsFrac(); got != float64(6+8)/24 {
 		t.Fatalf("ExactPairsFrac = %g", got)
 	}
 	if (EngineStats{}).ExactPairsFrac() != 0 {
 		t.Fatal("empty stats must have frac 0")
+	}
+}
+
+// TestEngineStatsFracInvariant: the per-link distinct-pair accounting must
+// keep ExactPairsFrac ≤ 1 on real engine runs — including small slots just
+// above the grid cutoff (the historical >1.0 regime) and when stats are
+// accumulated across repeated verification passes, as the γ-escalation
+// retry loop does.
+func TestEngineStatsFracInvariant(t *testing.T) {
+	p := DefaultParams()
+	var acc EngineStats
+	for _, m := range []int{65, 70, 80, 100, 150, 300, 1000, 2500} {
+		links := randLinks(m, 2000, int64(m))
+		eng := NewEngine(p, links)
+		sc := NewEngineScratch()
+		var st EngineStats
+		if _, err := eng.MarginSlot(fullSlot(m), randPowers(m, int64(m)+5), sc, &st); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if f := st.ExactPairsFrac(); f > 1 {
+			t.Fatalf("m=%d: ExactPairsFrac %g > 1 (stats %+v)", m, f, st)
+		}
+		if st.ExactPairs+st.NearPairs > st.NaivePairs {
+			t.Fatalf("m=%d: pairs %d+%d exceed naive %d", m, st.ExactPairs, st.NearPairs, st.NaivePairs)
+		}
+		acc.Add(st)
+		// A second pass over the same slot, accumulated like a γ retry.
+		if _, err := eng.MarginSlot(fullSlot(m), randPowers(m, int64(m)+5), sc, &st); err != nil {
+			t.Fatalf("m=%d retry: %v", m, err)
+		}
+		acc.Add(st)
+	}
+	if f := acc.ExactPairsFrac(); f > 1 {
+		t.Fatalf("accumulated ExactPairsFrac %g > 1 (stats %+v)", f, acc)
 	}
 }
 

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # check_bench_regression.sh MEASURED.json [BASELINE.json] [MAX_RATIO]
 #
-# Guards the scheduling hot path: fails when the measured greedy
-# pipeline_sec at the probe size (the largest n present in the baseline,
-# n=20000 as checked in) exceeds MAX_RATIO (default 1.5) times the
-# checked-in baseline. Both files use the BENCH_pipeline.json schema
-# (runs[] per GOMAXPROCS setting); the first run of each file is compared.
+# Guards the scheduling and verification hot paths: fails when, at the probe
+# size (the largest measured n present in the baseline, n=20000 as checked
+# in), the measured greedy pipeline_sec or verify_sec exceeds MAX_RATIO
+# (default 1.5) times the checked-in baseline — and, independently of the
+# baseline, when the fast verify engine's exact_pairs_frac exceeds 0.05 at
+# the probe size. The fraction gate is hardware-independent: it measures how
+# much of the naive O(m²) pairwise work the engine performed, so a blown
+# far-field bound or broken refinement ladder trips it even on a fast
+# runner. Both files use the BENCH_pipeline.json schema (runs[] per
+# GOMAXPROCS setting); the first run of each file is compared.
 #
-# Caveat — this is a cross-hardware wall-clock comparison: the baseline was
-# recorded single-threaded on a 1-CPU container, and the CI gate pins
-# GOMAXPROCS=1 to match, but a markedly slower runner generation can still
-# trip it without a code change. If the gate reddens on unrelated PRs,
-# re-record BENCH_baseline.json on current CI hardware
+# Caveat — the time gates are a cross-hardware wall-clock comparison: the
+# baseline was recorded single-threaded on a 1-CPU container, and the CI
+# gate pins GOMAXPROCS=1 to match, but a markedly slower runner generation
+# can still trip it without a code change. If the gate reddens on unrelated
+# PRs, re-record BENCH_baseline.json on current CI hardware
 # (`GOMAXPROCS=1 go run ./cmd/aggrate bench --sizes 20000 --naive-max 0
 # --algo greedy --procs 1 --out BENCH_baseline.json`) or pass a larger
 # MAX_RATIO as the third argument rather than deleting the gate.
@@ -25,27 +30,44 @@ python3 - "$measured" "$baseline" "$max_ratio" <<'EOF'
 import json, sys
 
 measured_path, baseline_path, max_ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+MAX_EXACT_PAIRS_FRAC = 0.05
 
-def greedy_pipeline_secs(path):
+def greedy_rows(path):
     with open(path) as f:
         report = json.load(f)
     out = {}
     for entry in report["runs"][0]["entries"]:
         for algo in entry["algos"]:
             if algo["algo"] == "greedy":
-                out[entry["n"]] = algo["pipeline_sec"]
+                out[entry["n"]] = algo
     return out
 
-base = greedy_pipeline_secs(baseline_path)
-meas = greedy_pipeline_secs(measured_path)
+base = greedy_rows(baseline_path)
+meas = greedy_rows(measured_path)
 if not base:
     sys.exit(f"{baseline_path}: no greedy entries")
-n = max(n for n in base if n in meas) if any(n in meas for n in base) else None
+n = max((n for n in base if n in meas), default=None)
 if n is None:
     sys.exit(f"{measured_path}: no size overlaps the baseline sizes {sorted(base)}")
 
-ratio = meas[n] / base[n]
-print(f"greedy n={n}: measured {meas[n]:.3f}s vs baseline {base[n]:.3f}s -> {ratio:.2f}x (limit {max_ratio}x)")
-if ratio > max_ratio:
-    sys.exit(f"pipeline regression: {ratio:.2f}x exceeds the {max_ratio}x budget")
+failures = []
+for field in ("pipeline_sec", "verify_sec"):
+    b, m = base[n].get(field), meas[n].get(field)
+    if not b:
+        print(f"greedy n={n}: baseline lacks {field}; skipping its time gate")
+        continue
+    ratio = m / b
+    print(f"greedy n={n}: {field} {m:.3f}s vs baseline {b:.3f}s -> {ratio:.2f}x (limit {max_ratio}x)")
+    if ratio > max_ratio:
+        failures.append(f"{field} regression: {ratio:.2f}x exceeds the {max_ratio}x budget")
+
+frac = meas[n].get("exact_pairs_frac", 0.0)
+print(f"greedy n={n}: exact_pairs_frac {frac:.4g} (limit {MAX_EXACT_PAIRS_FRAC})")
+if not 0 < frac <= MAX_EXACT_PAIRS_FRAC:
+    failures.append(
+        f"exact_pairs_frac {frac:.4g} outside (0, {MAX_EXACT_PAIRS_FRAC}]: "
+        "the fast engine is doing too much exact pairwise work")
+
+if failures:
+    sys.exit("; ".join(failures))
 EOF
