@@ -209,10 +209,10 @@ func validateChoices(flagName string, given, valid []string) error {
 // base Spec.
 type specFlags struct {
 	scenarios, ns, graph, engine     *string
-	seeds, workers                   *int
+	seeds, workers, lookDepth        *int
 	seed                             *uint64
 	gamma, delta, alpha, beta, noise *float64
-	verify, incr                     *bool
+	verify, incr, noLookahead        *bool
 }
 
 func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlags {
@@ -230,6 +230,9 @@ func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlag
 		verify:    fs.Bool("verify", true, "verify every slot against the SINR condition, escalating γ on failure"),
 		engine:    fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)"),
 		incr:      fs.Bool("verify-incremental", true, "reuse exact slot verdicts across γ escalations (fast engine; identical results, less work)"),
+		noLookahead: fs.Bool("no-lookahead", false,
+			"build each γ escalation's conflict graph from scratch instead of filtering one strength-annotated lookahead build (identical results, more work)"),
+		lookDepth: fs.Int("lookahead-depth", 1, "γ-escalation steps the lookahead build covers ahead of the current γ"),
 		workers:   fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)"),
 	}
 }
@@ -259,6 +262,8 @@ func (sf *specFlags) resolve() ([]experiment.Scenario, []int, experiment.Spec, e
 		Verify:              *sf.verify,
 		VerifyEngine:        *sf.engine,
 		NoIncrementalVerify: !*sf.incr,
+		NoLookahead:         *sf.noLookahead,
+		GammaLookahead:      *sf.lookDepth,
 	}
 	return scList, nList, base, nil
 }
@@ -478,6 +483,7 @@ func csvHeader() []string {
 		"logstar", "edges", "max_degree", "colors", "schedule_length",
 		"rate", "colors_per_logstar", "length_classes", "gamma_used",
 		"gamma_retries", "margin", "verified", "refine_sets", "build_sec",
+		"build_filter_sec", "build_reused",
 		"order_sec", "color_sec", "verify_sec", "total_sec", "error",
 	}
 }
@@ -493,7 +499,9 @@ func csvRow(r *experiment.Result) []string {
 		strconv.Itoa(r.Classes),
 		f(r.GammaUsed), strconv.Itoa(r.GammaRetries), f(r.Margin),
 		strconv.FormatBool(r.Verified), strconv.Itoa(r.RefineSets),
-		f(r.Timings.BuildSec), f(r.Timings.OrderSec), f(r.Timings.ColorSec),
+		f(r.Timings.BuildSec),
+		f(r.Timings.BuildFilterSec), strconv.FormatBool(r.Timings.BuildReused),
+		f(r.Timings.OrderSec), f(r.Timings.ColorSec),
 		f(r.Timings.VerifySec), f(r.Timings.TotalSec), r.Err,
 	}
 }
@@ -620,10 +628,15 @@ type AlgoBench struct {
 	ColorsPerLogStar float64 `json:"colors_per_logstar"`
 	PipelineSec      float64 `json:"pipeline_sec"`
 	BuildSec         float64 `json:"build_sec"`
-	OrderSec         float64 `json:"order_sec"`
-	ColorSec         float64 `json:"color_sec"`
-	GammaRetries     int     `json:"gamma_retries"`
-	Verified         bool    `json:"verified"`
+	// BuildFilterSec is the share of BuildSec spent in lookahead filter scans
+	// (γ-escalation retries served from the strength-annotated build);
+	// BuildReused records that at least one retry was so served.
+	BuildFilterSec float64 `json:"build_filter_sec,omitempty"`
+	BuildReused    bool    `json:"build_reused,omitempty"`
+	OrderSec       float64 `json:"order_sec"`
+	ColorSec       float64 `json:"color_sec"`
+	GammaRetries   int     `json:"gamma_retries"`
+	Verified       bool    `json:"verified"`
 	VerifySec        float64 `json:"verify_sec"`
 	ExactPairsFrac   float64 `json:"exact_pairs_frac"`
 	// VerifyWarmSec times a second verification of the same schedule through
@@ -685,6 +698,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	algos := fs.String("algo", strings.Join(scheduler.Names(), ","), "comma-separated algorithms to time the pipeline with")
 	engine := fs.String("verify-engine", schedule.EngineFast, "SINR verification engine (fast, naive)")
 	incr := fs.Bool("verify-incremental", true, "reuse exact slot verdicts across γ escalations and report the warm re-verify split")
+	noLookahead := fs.Bool("no-lookahead", false, "rebuild the conflict graph from scratch at every γ escalation instead of filtering the lookahead build")
 	procs := fs.String("procs", "0", "comma-separated GOMAXPROCS values to sweep (0 = NumCPU); one bench run each")
 	out := fs.String("out", "BENCH_pipeline.json", "output path ('-' = stdout)")
 	timeout := fs.Duration("timeout", 0, "cancel the sweep after this duration, writing the entries completed so far (0 = none)")
@@ -726,7 +740,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 	report := BenchReport{Scenario: *preset, Seed: *seed}
 	var sweepErr error
 	for _, p := range procList {
-		run, err := benchRun(ctx, sc, nList, algoList, p, *naiveMax, *seed, *engine, *incr, stderr)
+		run, err := benchRun(ctx, sc, nList, algoList, p, *naiveMax, *seed, *engine, *incr, *noLookahead, stderr)
 		// A cancelled sweep still writes the completed entries (partial
 		// runs included); any other error aborts without a report.
 		if err != nil && ctx.Err() == nil {
@@ -759,7 +773,7 @@ func cmdBench(args []string, stdout, stderr io.Writer) error {
 // NumCPU), restoring the previous setting before returning. A ctx cancel
 // stops the sweep and returns the entries completed so far with ctx.Err().
 func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []string,
-	procsWanted, naiveMax int, seed uint64, engine string, incremental bool, stderr io.Writer) (BenchRun, error) {
+	procsWanted, naiveMax int, seed uint64, engine string, incremental, noLookahead bool, stderr io.Writer) (BenchRun, error) {
 	if procsWanted > 0 {
 		prev := runtime.GOMAXPROCS(procsWanted)
 		defer runtime.GOMAXPROCS(prev)
@@ -808,6 +822,7 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 			spec.Algo = algo
 			spec.VerifyEngine = engine
 			spec.NoIncrementalVerify = !incremental
+			spec.NoLookahead = noLookahead
 			t0 = time.Now()
 			inst, res, err := experiment.NewInstance(ctx, spec)
 			sec := time.Since(t0).Seconds()
@@ -825,6 +840,8 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 				ColorsPerLogStar: res.ColorsPerLogStar,
 				PipelineSec:      sec,
 				BuildSec:         res.Timings.BuildSec,
+				BuildFilterSec:   res.Timings.BuildFilterSec,
+				BuildReused:      res.Timings.BuildReused,
 				OrderSec:         res.Timings.OrderSec,
 				ColorSec:         res.Timings.ColorSec,
 				GammaRetries:     res.GammaRetries,

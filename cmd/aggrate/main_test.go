@@ -31,6 +31,7 @@ func runCLI(args ...string) (stdout, stderr string, code int) {
 // function of the seed.
 var timingKeys = map[string]bool{
 	"generate_sec": true, "mst_sec": true, "build_sec": true,
+	"build_filter_sec": true,
 	"order_sec": true, "color_sec": true, "refine_sec": true,
 	"verify_sec": true, "verify_warm_sec": true,
 	"power_solve_sec": true, "verify_naive_sec": true, "verify_speedup": true,
@@ -86,8 +87,8 @@ func normalizeCSV(t *testing.T, data string) string {
 		t.Fatal("empty CSV output")
 	}
 	timingCols := map[string]bool{
-		"build_sec": true, "order_sec": true, "color_sec": true,
-		"verify_sec": true, "total_sec": true,
+		"build_sec": true, "build_filter_sec": true, "order_sec": true,
+		"color_sec": true, "verify_sec": true, "total_sec": true,
 	}
 	var cols []int
 	for i, name := range rows[0] {

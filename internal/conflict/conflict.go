@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
 	"sort"
 	"sync"
@@ -74,10 +75,22 @@ func Gamma(gamma float64) Func {
 // PowerLaw returns f(x) = γ·x^δ defining G^δ_γ, the conflict graph whose
 // independent sets are feasible under an oblivious power scheme.
 func PowerLaw(gamma, delta float64) Func {
+	pw := powFunc(delta)
 	return Func{
 		Name: fmt.Sprintf("G_obl(%g,%g)", gamma, delta),
-		Eval: func(x float64) float64 { return gamma * math.Pow(x, delta) },
+		Eval: func(x float64) float64 { return gamma * pw(x) },
 	}
+}
+
+// powFunc returns x ↦ x^δ, routed through math.Sqrt for δ = ½ — the default
+// oblivious-power exponent, evaluated once per candidate pair in the build's
+// innermost loop. math.Pow special-cases y == 0.5 to Sqrt(x), so the direct
+// call is bit-for-bit identical and only skips Pow's dispatch overhead.
+func powFunc(delta float64) func(float64) float64 {
+	if delta == 0.5 {
+		return math.Sqrt
+	}
+	return func(x float64) float64 { return math.Pow(x, delta) }
 }
 
 // LogThreshold returns f(x) = γ·max{1, log₂^{2/(α-2)} x} defining G_{γlog},
@@ -125,6 +138,12 @@ type Graph struct {
 	RowPtr []int32
 	// Neighbors holds all adjacency rows back to back (2·Edges entries).
 	Neighbors []int32
+	// Strengths, when non-nil, parallels Neighbors: Strengths[k] is the
+	// conflict strength of the pair (i, Neighbors[k]) — the smallest γ at
+	// which the two links f_γ-conflict under the threshold family the graph
+	// was built for (see Family and BuildLookaheadCtx). Only strength-
+	// annotated builds populate it; plain Build leaves it nil.
+	Strengths []float64
 }
 
 // edge is one undirected edge, owned by the discovering endpoint.
@@ -134,8 +153,10 @@ type edge struct{ i, j int32 }
 // counting pass: count both endpoint degrees, prefix-sum into RowPtr, then
 // scatter each edge in both directions. Rows come out in edge-list order;
 // sortRows reports whether a per-row sort pass is still required (the naive
-// builder's lexicographic discovery order needs none).
-func fromEdges(links []geom.Link, f Func, edges []edge, sortRows bool) *Graph {
+// builder's lexicographic discovery order needs none). qs, when non-nil,
+// parallels edges with per-edge conflict strengths, scattered (and co-sorted)
+// into Graph.Strengths alongside the neighbor entries.
+func fromEdges(links []geom.Link, f Func, edges []edge, qs []float64, sortRows bool) *Graph {
 	n := len(links)
 	g := &Graph{
 		Links:  append([]geom.Link(nil), links...),
@@ -156,20 +177,68 @@ func fromEdges(links []geom.Link, f Func, edges []edge, sortRows bool) *Graph {
 		g.RowPtr[i+1] += g.RowPtr[i]
 	}
 	g.Neighbors = make([]int32, 2*len(edges))
+	if qs != nil {
+		g.Strengths = make([]float64, 2*len(edges))
+	}
 	fill := make([]int32, n)
 	copy(fill, g.RowPtr[:n])
-	for _, e := range edges {
+	for k, e := range edges {
 		g.Neighbors[fill[e.i]] = e.j
-		fill[e.i]++
 		g.Neighbors[fill[e.j]] = e.i
+		if qs != nil {
+			g.Strengths[fill[e.i]] = qs[k]
+			g.Strengths[fill[e.j]] = qs[k]
+		}
+		fill[e.i]++
 		fill[e.j]++
 	}
 	if sortRows {
-		par.For(n, func(i int) {
-			slices.Sort(g.Row(i))
-		})
+		if qs == nil {
+			par.For(n, func(i int) {
+				slices.Sort(g.Row(i))
+			})
+		} else {
+			sortRowsWithStrengths(g)
+		}
 	}
 	return g
+}
+
+// neighborQ pairs one directed CSR entry with its strength, for the co-sort
+// of strength-annotated rows.
+type neighborQ struct {
+	j int32
+	q float64
+}
+
+// sortRowsWithStrengths sorts every adjacency row ascending, permuting the
+// parallel Strengths entries in lockstep, so annotated rows keep the same
+// neighbor order as plain builds.
+func sortRowsWithStrengths(g *Graph) {
+	n := g.N()
+	par.ForBlocks(n, 256, func(next func() (int, int, bool)) {
+		var scratch []neighborQ
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for i := lo; i < hi; i++ {
+				row := g.Row(i)
+				if len(row) < 2 {
+					continue
+				}
+				qrow := g.Strengths[g.RowPtr[i]:g.RowPtr[i+1]]
+				scratch = scratch[:0]
+				for k, j := range row {
+					scratch = append(scratch, neighborQ{j, qrow[k]})
+				}
+				slices.SortFunc(scratch, func(a, b neighborQ) int {
+					return cmp.Compare(a.j, b.j)
+				})
+				for k, p := range scratch {
+					row[k] = p.j
+					qrow[k] = p.q
+				}
+			}
+		}
+	})
 }
 
 // FromAdj assembles a Graph from explicit adjacency lists — the test-side
@@ -192,7 +261,7 @@ func FromAdj(links []geom.Link, f Func, adj [][]int32) *Graph {
 		return cmp.Compare(a.j, b.j)
 	})
 	edges = slices.Compact(edges)
-	return fromEdges(links, f, edges, true)
+	return fromEdges(links, f, edges, nil, true)
 }
 
 // naiveCutoff is the instance size below which the bucketed build is not
@@ -219,7 +288,7 @@ func BuildCtx(ctx context.Context, links []geom.Link, f Func) (*Graph, error) {
 	if len(links) <= naiveCutoff {
 		return BuildNaive(links, f), nil
 	}
-	g, err := buildBucketed(ctx, links, f)
+	g, err := buildBucketed(ctx, links, f, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +317,7 @@ func BuildNaive(links []geom.Link, f Func) *Graph {
 			}
 		}
 	}
-	return fromEdges(links, f, edges, false)
+	return fromEdges(links, f, edges, nil, false)
 }
 
 // classGrid indexes the link endpoints of one dyadic length class, in a
@@ -292,8 +361,8 @@ func cellHash(x, y int64) uint64 {
 	return h
 }
 
-func (cg *classGrid) cellCoord(p geom.Point) (int64, int64) {
-	return int64(math.Floor(p.X / cg.size)), int64(math.Floor(p.Y / cg.size))
+func (cg *classGrid) cellCoordXY(x, y float64) (int64, int64) {
+	return int64(math.Floor(x / cg.size)), int64(math.Floor(y / cg.size))
 }
 
 // insertSlot returns the table slot of cell (x, y), claiming an empty slot
@@ -362,10 +431,92 @@ func getEdgeBuf() *[]edge {
 	return new([]edge)
 }
 
+// strengthBufPool recycles the per-worker strength buffers of annotated
+// builds, mirroring edgeBufPool entry for entry.
+var strengthBufPool sync.Pool
+
+func getStrengthBuf() *[]float64 {
+	if p, ok := strengthBufPool.Get().(*[]float64); ok {
+		*p = (*p)[:0]
+		return p
+	}
+	return new([]float64)
+}
+
+// mortonOrder returns the link indices sorted by the Morton (Z-order) code
+// of each link midpoint over the instance bounding box, ties broken by
+// original index. The build relabels links into this order so that spatially
+// close links — the only ones that ever test each other — also sit close in
+// index space. The order affects discovery order only: edges are emitted
+// under original indices and rows are sorted afterwards, so the resulting
+// CSR is bit-identical to an unrelabeled build. Degenerate extents (all
+// midpoints equal, or a non-finite spread) collapse to the identity order.
+func mortonOrder(links []geom.Link) []int32 {
+	n := len(links)
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, l := range links {
+		x := (l.S.X + l.R.X) / 2
+		y := (l.S.Y + l.R.Y) / 2
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	const side = 1 << 16 // 16 bits per axis; the code fills the key's top 32 bits
+	sx := (side - 1) / (maxX - minX)
+	sy := (side - 1) / (maxY - minY)
+	if math.IsInf(sx, 0) || math.IsNaN(sx) {
+		sx = 0
+	}
+	if math.IsInf(sy, 0) || math.IsNaN(sy) {
+		sy = 0
+	}
+	// Pack (code, index) into one uint64 per link so the sort runs on a flat
+	// integer slice — no comparator indirection, and ties resolve by index.
+	keys := make([]uint64, n)
+	for i, l := range links {
+		qx := ((l.S.X+l.R.X)/2 - minX) * sx
+		qy := ((l.S.Y+l.R.Y)/2 - minY) * sy
+		if !(qx > 0) {
+			qx = 0
+		} else if qx > side-1 {
+			qx = side - 1
+		}
+		if !(qy > 0) {
+			qy = 0
+		} else if qy > side-1 {
+			qy = side - 1
+		}
+		code := interleave16(uint64(qx)) | interleave16(uint64(qy))<<1
+		keys[i] = code<<32 | uint64(uint32(i))
+	}
+	slices.Sort(keys)
+	ord := make([]int32, n)
+	for k, key := range keys {
+		ord[k] = int32(uint32(key))
+	}
+	return ord
+}
+
+// interleave16 spreads the low 16 bits of v to the even bit positions.
+func interleave16(v uint64) uint64 {
+	v &= 0xffff
+	v = (v | v<<8) & 0x00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f
+	v = (v | v<<2) & 0x33333333
+	v = (v | v<<1) & 0x55555555
+	return v
+}
+
 // buildBucketed is the grid-bucketed parallel construction. It returns
 // (nil, nil) when the instance is degenerate (non-positive or non-finite
 // lengths, or a non-positive threshold function value), signalling BuildCtx
 // to fall back, and (nil, ctx.Err()) when the search was cancelled.
+//
+// When h is non-nil the build is strength-annotated: f must be fam.At(gm)
+// for a Family with factor h, the pair test computes the threshold as
+// lmin·(gm·h(x)) — the exact expression Family.At's contract makes f.Eval
+// compute — and every accepted edge additionally gets its conflict strength
+// (see strengthOf), emitted into Graph.Strengths.
 //
 // Correctness sketch: links are partitioned into dyadic length classes
 // [b_c, b_{c+1}) by comparison against precomputed boundaries, so class
@@ -379,7 +530,7 @@ func getEdgeBuf() *[]edge {
 // discovered exactly once, owned by the lower-class (ties: lower-index)
 // endpoint, collected into per-worker flat edge buffers, and scattered into
 // the CSR arrays in one counting pass — no per-vertex slices anywhere.
-func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, error) {
+func buildBucketed(ctx context.Context, links []geom.Link, f Func, h func(float64) float64, gm float64) (*Graph, error) {
 	n := len(links)
 	lens := make([]float64, n)
 	lmin, lmax := math.Inf(1), 0.0
@@ -406,6 +557,32 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 	if rmax := lmax * f.Eval(ratio); math.IsInf(rmax, 1) || math.IsNaN(rmax) {
 		return nil, nil
 	}
+
+	// Spatial relabeling: the build works in Morton (Z-order) indices of the
+	// link midpoints, so every structure the candidate scan touches per
+	// probe — the coordinate SoA, the length table, the stamp array, and the
+	// cell member lists — is clustered in index space. At 10⁶ links the
+	// original (generation-order) indices make nearly every candidate load a
+	// cache miss; the relabeled build emits each edge under the original
+	// indices (orig) and the CSR rows are sorted afterwards, so the output is
+	// bit-identical to an unrelabeled build.
+	orig := mortonOrder(links)
+	plens := make([]float64, n)
+	sxs := make([]float64, n)
+	sys := make([]float64, n)
+	rxs := make([]float64, n)
+	rys := make([]float64, n)
+	maxAbs := 0.0
+	for k, o := range orig {
+		l := links[o]
+		plens[k] = lens[o]
+		sxs[k], sys[k] = l.S.X, l.S.Y
+		rxs[k], rys[k] = l.R.X, l.R.Y
+		maxAbs = math.Max(maxAbs, math.Max(
+			math.Max(math.Abs(l.S.X), math.Abs(l.S.Y)),
+			math.Max(math.Abs(l.R.X), math.Abs(l.R.Y))))
+	}
+	lens = plens
 
 	// Dyadic class boundaries b_c = lmin·2^c, assigned by comparison (not
 	// floating log2) so that classification is exactly monotone in length.
@@ -463,8 +640,8 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 	slotR := make([]int32, n)
 	for i := 0; i < n; i++ {
 		cg := grids[class[i]]
-		sx, sy := cg.cellCoord(links[i].S)
-		rx, ry := cg.cellCoord(links[i].R)
+		sx, sy := cg.cellCoordXY(sxs[i], sys[i])
+		rx, ry := cg.cellCoordXY(rxs[i], rys[i])
 		s := cg.insertSlot(sx, sy)
 		cg.start[s+1]++
 		cg.extend(sx, sy)
@@ -509,18 +686,9 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 		}
 	}
 
-	// SoA endpoint coordinates: the scan kernel streams four flat float64
-	// arrays instead of loading whole Link structs per candidate.
-	sxs := make([]float64, n)
-	sys := make([]float64, n)
-	rxs := make([]float64, n)
-	rys := make([]float64, n)
-	for i, l := range links {
-		sxs[i], sys[i] = l.S.X, l.S.Y
-		rxs[i], rys[i] = l.R.X, l.R.Y
-	}
 	bs := &bucketedSearch{
 		lens: lens, class: class, grids: grids, f: f, fConst: f.Const,
+		h: h, gm: gm, orig: orig, maxAbs: maxAbs,
 		sx: sxs, sy: sys, rx: rxs, ry: rys,
 	}
 
@@ -530,9 +698,13 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 	// shared pool (returned once the CSR scatter has consumed it).
 	var mu sync.Mutex
 	var bufs []*[]edge
+	var qbufs []*[]float64 // index-aligned with bufs when annotating
 	defer func() {
 		for _, b := range bufs {
 			edgeBufPool.Put(b)
+		}
+		for _, b := range qbufs {
+			strengthBufPool.Put(b)
 		}
 	}()
 	err := par.ForBlocksCtx(ctx, n, 64, func(next func() (int, int, bool)) {
@@ -542,22 +714,64 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 		}
 		bufp := getEdgeBuf()
 		buf := *bufp
+		var qbufp *[]float64
+		var qbuf []float64
+		if h != nil {
+			qbufp = getStrengthBuf()
+			qbuf = *qbufp
+		}
+		// One-shot buffer reservation: at large sizes append grows slices by
+		// only ~1.25×, so accumulating tens of millions of edges through the
+		// default growth path allocates (and discards) several times the
+		// final footprint — enough churn to drag whole GC cycles into big
+		// builds. After a 1/16 prefix of this worker's expected share,
+		// extrapolate the final count and reserve it once; a low estimate
+		// just resumes normal append growth.
+		seen, grown := 0, false
+		share := n/max(runtime.GOMAXPROCS(0), 1) + 1
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for i := lo; i < hi; i++ {
-				bs.searchLink(int32(i), stamp, &buf)
+				if h != nil {
+					bs.searchLink(int32(i), stamp, &buf, &qbuf)
+				} else {
+					bs.searchLink(int32(i), stamp, &buf, nil)
+				}
+			}
+			seen += hi - lo
+			if !grown && seen >= share/16 && seen >= 4096 && len(buf) > 0 {
+				grown = true
+				proj := int(float64(len(buf)) / float64(seen) * float64(share) * 1.15)
+				if proj > cap(buf) {
+					nb := make([]edge, len(buf), proj)
+					copy(nb, buf)
+					buf = nb
+					if h != nil {
+						nq := make([]float64, len(qbuf), proj)
+						copy(nq, qbuf)
+						qbuf = nq
+					}
+				}
 			}
 		}
 		*bufp = buf
 		mu.Lock()
 		bufs = append(bufs, bufp)
+		if qbufp != nil {
+			*qbufp = qbuf
+			qbufs = append(qbufs, qbufp)
+		}
 		mu.Unlock()
 	})
 	if err != nil {
 		return nil, err
 	}
 	var edges []edge
+	var qs []float64
 	if len(bufs) == 1 {
 		edges = *bufs[0]
+		if h != nil {
+			qs = *qbufs[0]
+		}
 	} else {
 		total := 0
 		for _, b := range bufs {
@@ -574,26 +788,84 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func) (*Graph, erro
 		*mergep = merge
 		bufs = append(bufs, mergep)
 		edges = merge
+		if h != nil {
+			// Strength buffers merge in the same worker order, keeping qs
+			// aligned with edges entry for entry.
+			qmergep := getStrengthBuf()
+			qmerge := *qmergep
+			if cap(qmerge) < total {
+				qmerge = make([]float64, 0, total)
+			}
+			for _, b := range qbufs {
+				qmerge = append(qmerge, *b...)
+			}
+			*qmergep = qmerge
+			qbufs = append(qbufs, qmergep)
+			qs = qmerge
+		}
 	}
-	return fromEdges(links, f, edges, true), nil
+	if h != nil && qs == nil {
+		// Zero accepted edges: pooled buffers stay nil, but an annotated
+		// build must still mark the graph filterable (non-nil Strengths).
+		qs = []float64{}
+	}
+	return fromEdges(links, f, edges, qs, true), nil
 }
 
 // bucketedSearch carries the read-only state of one bucketed candidate
 // search: precomputed lengths and classes, the per-class cell tables, and
-// the link endpoints in structure-of-arrays form for the scan kernel.
+// the link endpoints in structure-of-arrays form for the scan kernel. All
+// per-link arrays are in Morton-relabeled index space; orig maps a relabeled
+// index back to the caller's link index for edge emission.
 type bucketedSearch struct {
 	lens           []float64
 	class          []int
 	grids          []*classGrid
 	f              Func
 	fConst         float64 // Func.Const: > 0 ⟹ skip the Eval closure per pair
+	h              func(x float64) float64
+	gm             float64 // build γ of a strength-annotated search (h != nil)
+	orig           []int32
+	maxAbs         float64 // largest coordinate magnitude; scales the prune slack
 	sx, sy, rx, ry []float64
 }
 
-// searchLink appends to *out every edge (i, j) that link i owns.
-func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge) {
+// axisDist returns the distance from p to the interval [lo, hi] (0 inside).
+func axisDist(p, lo, hi float64) float64 {
+	if p < lo {
+		return lo - p
+	}
+	if p > hi {
+		return p - hi
+	}
+	return 0
+}
+
+// cellNear reports whether the cell rectangle [cx·s,(cx+1)·s]×[cy·s,(cy+1)·s]
+// lies within the padded radius² rp2 of either endpoint of the scanning
+// link. A cell beyond rp of both endpoints cannot hold a conflicting
+// candidate: a conflicting pair has some endpoint q within thr ≤ r of some
+// endpoint p of i, and q's cell is then within r (+ the cancellation slack
+// folded into rp) of p. Skipping the cell therefore drops no edge, and in
+// the rectangle walk it also skips the cell's hash probe.
+func cellNear(cx, cy int64, s, rp2, sx, sy, rx, ry float64) bool {
+	lox, loy := float64(cx)*s, float64(cy)*s
+	hix, hiy := lox+s, loy+s
+	dx, dy := axisDist(sx, lox, hix), axisDist(sy, loy, hiy)
+	if dx*dx+dy*dy <= rp2 {
+		return true
+	}
+	dx, dy = axisDist(rx, lox, hix), axisDist(ry, loy, hiy)
+	return dx*dx+dy*dy <= rp2
+}
+
+// searchLink appends to *out every edge (i, j) that link i owns; when qout
+// is non-nil, each edge's conflict strength is appended to *qout in lockstep.
+func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge, qout *[]float64) {
 	li := b.lens[i]
 	ci := b.class[i]
+	isx, isy := b.sx[i], b.sy[i]
+	irx, iry := b.rx[i], b.ry[i]
 	for c := ci; c < len(b.grids); c++ {
 		cg := b.grids[c]
 		if cg == nil {
@@ -609,49 +881,52 @@ func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge) {
 			x = cg.maxL / li
 		}
 		r := li * b.f.Eval(x) * (1 + 1e-9)
+		rr := r * r
 		s := cg.size
-		var px0, px1, py0, py1 int64
-		for pi := 0; pi < 2; pi++ {
-			px, py := b.sx[i], b.sy[i]
-			if pi == 1 {
-				px, py = b.rx[i], b.ry[i]
-			}
-			// Clamp the scan rectangle to the class's occupied-cell bounding
-			// box: cells outside it are empty, so clamping never drops a
-			// candidate, and it keeps a huge r (e.g. LogThreshold with α near
-			// 2, where r/size can exceed 1e6) from inflating the loop bounds.
-			x0 := clampCell(math.Floor((px-r)/s), cg.minCX, cg.maxCX)
-			x1 := clampCell(math.Floor((px+r)/s), cg.minCX, cg.maxCX)
-			y0 := clampCell(math.Floor((py-r)/s), cg.minCY, cg.maxCY)
-			y1 := clampCell(math.Floor((py+r)/s), cg.minCY, cg.maxCY)
-			// Both endpoints often clamp to the same rectangle (always, in
-			// the huge-radius regime where each covers the whole bounding
-			// box); the second scan would revisit every cell for nothing.
-			if pi == 1 && x0 == px0 && x1 == px1 && y0 == py0 && y1 == py1 {
-				continue
-			}
-			px0, px1, py0, py1 = x0, x1, y0, y1
-			if float64(x1-x0+1)*float64(y1-y0+1) > float64(len(cg.full)) {
-				// The rectangle holds more cells than the table has slots
-				// (sparse class spread over a wide extent): iterating it
-				// would mostly probe empty cells, so walk the occupied
-				// slots and test rectangle membership instead.
-				for sl := range cg.full {
-					if !cg.full[sl] {
-						continue
-					}
-					kx, ky := cg.keyX[sl], cg.keyY[sl]
-					if kx < x0 || kx > x1 || ky < y0 || ky > y1 {
-						continue
-					}
-					b.scanCell(i, ci == c, cg.members[cg.start[sl]:cg.start[sl+1]], stamp, out)
+		// Cell pruning pad: r plus a slack dominating the worst-case absolute
+		// cancellation error of the rectangle arithmetic in cellNear (a few
+		// thousand ulps at the magnitude of the largest operand involved), so
+		// a cell holding a true candidate can never be pruned by rounding.
+		rp := r + (b.maxAbs+r+2*s)*1e-12
+		rp2 := rp * rp
+		// One scan over the union rectangle of both endpoint disks, clamped
+		// to the class's occupied-cell bounding box (cells outside it are
+		// empty, and clamping keeps a huge r — e.g. LogThreshold with α near
+		// 2, where r/size can exceed 1e6 — from inflating the loop bounds).
+		// The union costs no more than the former two per-endpoint passes:
+		// the disks overlap heavily whenever r ≥ |SR| = l_i, and cellNear
+		// prunes the cells that only the bounding rectangle (not either
+		// disk) covers.
+		x0 := clampCell(math.Floor((math.Min(isx, irx)-r)/s), cg.minCX, cg.maxCX)
+		x1 := clampCell(math.Floor((math.Max(isx, irx)+r)/s), cg.minCX, cg.maxCX)
+		y0 := clampCell(math.Floor((math.Min(isy, iry)-r)/s), cg.minCY, cg.maxCY)
+		y1 := clampCell(math.Floor((math.Max(isy, iry)+r)/s), cg.minCY, cg.maxCY)
+		if float64(x1-x0+1)*float64(y1-y0+1) > float64(len(cg.full)) {
+			// The rectangle holds more cells than the table has slots
+			// (sparse class spread over a wide extent): iterating it
+			// would mostly probe empty cells, so walk the occupied
+			// slots and test rectangle membership instead.
+			for sl := range cg.full {
+				if !cg.full[sl] {
+					continue
 				}
-				continue
-			}
-			for cx := x0; cx <= x1; cx++ {
-				for cy := y0; cy <= y1; cy++ {
-					b.scanCell(i, ci == c, cg.cellAt(cx, cy), stamp, out)
+				kx, ky := cg.keyX[sl], cg.keyY[sl]
+				if kx < x0 || kx > x1 || ky < y0 || ky > y1 {
+					continue
 				}
+				if !cellNear(kx, ky, s, rp2, isx, isy, irx, iry) {
+					continue
+				}
+				b.scanCell(i, ci == c, rr, cg.members[cg.start[sl]:cg.start[sl+1]], stamp, out, qout)
+			}
+			continue
+		}
+		for cx := x0; cx <= x1; cx++ {
+			for cy := y0; cy <= y1; cy++ {
+				if !cellNear(cx, cy, s, rp2, isx, isy, irx, iry) {
+					continue
+				}
+				b.scanCell(i, ci == c, rr, cg.cellAt(cx, cy), stamp, out, qout)
 			}
 		}
 	}
@@ -664,25 +939,27 @@ func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge) {
 // closure; the arithmetic — min over the four endpoint squared distances
 // against (l_min·f(l_max/l_min))² — is expression-identical to
 // conflictingLens, so the edge set matches BuildNaive bit-for-bit.
-func (b *bucketedSearch) scanCell(i int32, sameClass bool,
-	cell []int32, stamp []int32, out *[]edge) {
+//
+// A strength-annotated search (qout non-nil) computes the threshold through
+// the family factor h instead of f.Eval — lmin·(gm·h(x)), the identical
+// floating-point expression by Family.At's contract — and appends each
+// accepted edge's strength.
+//
+// The loop is ordered cheapest-reject-first: the squared distance (pure SoA
+// loads and arithmetic) is compared against rr — the squared padded class
+// radius, which upper-bounds every pair threshold this scan can produce —
+// before the threshold function is evaluated, and the stamp array is only
+// consulted (and written) for accepted pairs, so rejected candidates never
+// touch it. A candidate reachable through two cells is simply tested twice;
+// the stamp still deduplicates the emitted edge.
+func (b *bucketedSearch) scanCell(i int32, sameClass bool, rr float64,
+	cell []int32, stamp []int32, out *[]edge, qout *[]float64) {
 	li := b.lens[i]
 	isx, isy := b.sx[i], b.sy[i]
 	irx, iry := b.rx[i], b.ry[i]
 	for _, j := range cell {
-		if j == i || (sameClass && j < i) || stamp[j] == i {
+		if j == i || (sameClass && j < i) {
 			continue
-		}
-		stamp[j] = i
-		lmin, lmax := li, b.lens[j]
-		if lmin > lmax {
-			lmin, lmax = lmax, lmin
-		}
-		var thr float64
-		if b.fConst > 0 {
-			thr = lmin * b.fConst
-		} else {
-			thr = lmin * b.f.Eval(lmax/lmin)
 		}
 		jsx, jsy := b.sx[j], b.sy[j]
 		jrx, jry := b.rx[j], b.ry[j]
@@ -700,8 +977,32 @@ func (b *bucketedSearch) scanCell(i int32, sameClass bool,
 		if v := dx*dx + dy*dy; v < d {
 			d = v
 		}
+		if d > rr {
+			continue
+		}
+		lmin, lmax := li, b.lens[j]
+		if lmin > lmax {
+			lmin, lmax = lmax, lmin
+		}
+		var thr, hx float64
+		if b.fConst > 0 {
+			thr = lmin * b.fConst
+			hx = 1
+		} else if qout != nil {
+			hx = b.h(lmax / lmin)
+			thr = lmin * (b.gm * hx)
+		} else {
+			thr = lmin * b.f.Eval(lmax/lmin)
+		}
 		if d <= thr*thr {
-			*out = append(*out, edge{i, j})
+			if stamp[j] == i {
+				continue
+			}
+			stamp[j] = i
+			*out = append(*out, edge{b.orig[i], b.orig[j]})
+			if qout != nil {
+				*qout = append(*qout, strengthOf(d, lmin, hx, b.gm))
+			}
 		}
 	}
 }

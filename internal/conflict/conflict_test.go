@@ -15,7 +15,7 @@ import (
 // build: Background never cancels, so the error leg is dead and the old
 // nil-means-fallback contract is preserved for the parity suites.
 func buildBucketedBG(links []geom.Link, f Func) *Graph {
-	g, _ := buildBucketed(context.Background(), links, f)
+	g, _ := buildBucketed(context.Background(), links, f, nil, 0)
 	return g
 }
 

@@ -91,6 +91,20 @@ type Spec struct {
 	// slots, so margins, verdicts, and error messages are the same either
 	// way — hence it does not participate in SpecKey.
 	NoIncrementalVerify bool
+	// NoLookahead disables the γ-lookahead conflict build, so every
+	// escalation attempt pays a full grid rebuild instead of filtering one
+	// strength-annotated build. Like NoIncrementalVerify it is purely a
+	// performance knob — lookahead-filtered graphs are bit-identical to
+	// direct builds (the conflict package's parity and fuzz suites pin
+	// this) — so it does not participate in SpecKey.
+	NoLookahead bool
+	// GammaLookahead is how many escalation rungs beyond the current γ the
+	// lookahead build covers (default 1: each build also serves the next
+	// retry; measured builds at γ·step cost only ~1.3× the build at γ, so
+	// deeper windows trade more up-front edges for rarely-used coverage).
+	// Escalations past the window re-arm a fresh lookahead at the new γ.
+	// A performance knob like NoLookahead: excluded from SpecKey.
+	GammaLookahead int
 }
 
 // Scenario is the deployment-generator dependency of the runner. It is the
@@ -185,6 +199,9 @@ func (s Spec) normalized() Spec {
 	}
 	if s.GammaStep <= 1 {
 		s.GammaStep = 1.5
+	}
+	if s.GammaLookahead <= 0 {
+		s.GammaLookahead = 1
 	}
 	return s
 }
@@ -330,7 +347,15 @@ func (in *Instance) ReverifyIncremental() (float64, schedule.VerifyStats, error)
 type Timings struct {
 	GenerateSec float64 `json:"generate_sec"`
 	MSTSec      float64 `json:"mst_sec"`
-	BuildSec    float64 `json:"build_sec"`
+	// BuildSec counts full conflict-graph builds only; γ-escalation retries
+	// served by the lookahead cache account their (much smaller) filter-scan
+	// time under BuildFilterSec instead, and set BuildReused.
+	BuildSec       float64 `json:"build_sec"`
+	BuildFilterSec float64 `json:"build_filter_sec,omitempty"`
+	// BuildReused reports that at least one attempt's conflict graph was
+	// materialized by filtering a cached strength-annotated build rather
+	// than a fresh grid build.
+	BuildReused bool `json:"build_reused,omitempty"`
 	// OrderSec is the vertex-order computation time (the length sort of
 	// greedy/lengthclass; zero for orderless colorings), split out from
 	// ColorSec so the coloring stage's cost is tracked per strategy.
@@ -554,6 +579,7 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 		inst.vc = schedule.NewVerifyCache(spec.SINR)
 	}
 	gamma := spec.Gamma
+	var la *conflict.Lookahead
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return inst, res, err
@@ -562,6 +588,25 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 		if ws != nil {
 			cfg.WS = ws.coloring
 		}
+		if !spec.NoLookahead {
+			// γ-lookahead: arm (or re-arm, when escalation left the window)
+			// a build ceiling Spec.GammaLookahead rungs above the current γ,
+			// clamped to the rungs that can still occur. The ceiling is
+			// computed by iterated multiplication — exactly how the loop
+			// escalates γ — so every reachable rung compares equal to it.
+			if la == nil || gamma > la.GammaMax() {
+				depth := spec.GammaLookahead
+				if r := spec.MaxGammaRetries - attempt; r < depth {
+					depth = r
+				}
+				top := gamma
+				for i := 0; i < depth; i++ {
+					top *= spec.GammaStep
+				}
+				la = conflict.NewLookahead(top)
+			}
+			cfg.Lookahead = la
+		}
 		// Stage timings accumulate across escalation attempts so that they
 		// still sum to TotalSec when verification forces a rebuild.
 		sched, diag, err := strat.Schedule(ctx, links, cfg)
@@ -569,6 +614,10 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 			return nil, res, err
 		}
 		res.Timings.BuildSec += diag.BuildSec
+		res.Timings.BuildFilterSec += diag.BuildFilterSec
+		if diag.BuildReused {
+			res.Timings.BuildReused = true
+		}
 		res.Timings.OrderSec += diag.OrderSec
 		res.Timings.ColorSec += diag.ColorSec
 

@@ -477,4 +477,18 @@ func TestSpecKeyCanonical(t *testing.T) {
 			t.Fatalf("mutation %d did not change the spec key", i)
 		}
 	}
+	// Pure performance knobs produce identical results (the parity suites
+	// pin this), so they must NOT participate in the cache key.
+	perfKnobs := []func(*Spec){
+		func(s *Spec) { s.NoIncrementalVerify = true },
+		func(s *Spec) { s.NoLookahead = true },
+		func(s *Spec) { s.GammaLookahead = 4 },
+	}
+	for i, mut := range perfKnobs {
+		s := full
+		mut(&s)
+		if SpecKey(s) != base {
+			t.Fatalf("performance knob %d changed the spec key", i)
+		}
+	}
 }

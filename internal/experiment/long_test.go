@@ -35,8 +35,8 @@ func TestMillionLinkPipeline(t *testing.T) {
 		t.Fatal("schedule not verified")
 	}
 	tm := res.Timings
-	t.Logf("n=1e6 uniform: total %.2fs (gen %.2f, mst %.2f, build %.2f, order %.2f, color %.2f, verify %.2f)",
-		tm.TotalSec, tm.GenerateSec, tm.MSTSec, tm.BuildSec, tm.OrderSec, tm.ColorSec, tm.VerifySec)
+	t.Logf("n=1e6 uniform: total %.2fs (gen %.2f, mst %.2f, build %.2f, filter %.4f, order %.2f, color %.2f, verify %.2f)",
+		tm.TotalSec, tm.GenerateSec, tm.MSTSec, tm.BuildSec, tm.BuildFilterSec, tm.OrderSec, tm.ColorSec, tm.VerifySec)
 	t.Logf("verify: exact_pairs_frac %.4g, reused_slots %d, refined_cells %d",
 		tm.VerifyExactPairsFrac, tm.VerifyReusedSlots, tm.VerifyRefinedCells)
 	if tm.VerifySec >= 15 {
@@ -44,5 +44,17 @@ func TestMillionLinkPipeline(t *testing.T) {
 	}
 	if tm.VerifyExactPairsFrac <= 0 || tm.VerifyExactPairsFrac > 1 {
 		t.Errorf("exact_pairs_frac = %g, want (0, 1]", tm.VerifyExactPairsFrac)
+	}
+	// This spec escalates γ once (retries=1 on the pinned seed); the retry's
+	// conflict graph must come from the lookahead filter scan, not a second
+	// full build — the PR-7 change that removed the duplicated build.
+	if res.GammaRetries >= 1 {
+		if !tm.BuildReused {
+			t.Error("γ-escalation retry was not served by the lookahead filter scan")
+		}
+		if tm.BuildFilterSec <= 0 || tm.BuildFilterSec >= 0.15*tm.BuildSec {
+			t.Errorf("build_filter_sec = %.3fs, want (0, 0.15×build_sec=%.3fs)",
+				tm.BuildFilterSec, 0.15*tm.BuildSec)
+		}
 	}
 }

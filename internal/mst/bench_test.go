@@ -1,6 +1,7 @@
 package mst
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -14,10 +15,17 @@ func BenchmarkEMSTLarge(b *testing.B) {
 	for i := range pts {
 		pts[i] = geom.Point{X: r.Float64() * 1e6, Y: r.Float64() * 1e6}
 	}
+	var st emstStats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if e := EMST(pts); len(e) != n-1 {
+		e, err := emstCtx(context.Background(), pts, &st)
+		if err != nil || len(e) != n-1 {
 			b.Fatal("bad edge count")
 		}
 	}
+	// Supercell-skip visibility: a regression that stops whole-cell skipping
+	// shows up as skipped_points collapsing toward zero in bench artifacts.
+	b.ReportMetric(float64(st.Rounds), "rounds")
+	b.ReportMetric(float64(st.Supercells), "supercells")
+	b.ReportMetric(float64(st.SkippedPoints), "skipped_points")
 }

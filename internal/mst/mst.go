@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"aggrate/internal/geom"
@@ -145,11 +146,29 @@ func EMST(pts []geom.Point) []Edge {
 	return edges
 }
 
+// emstStats counts the work-skipping behavior of one EMSTCtx run, for
+// benchmarks and regression visibility (BenchmarkEMSTLarge reports them as
+// custom metrics).
+type emstStats struct {
+	// Rounds is the number of Borůvka rounds.
+	Rounds int
+	// Supercells counts coarse cells certified single-component-with-
+	// single-component-neighborhood, summed over rounds.
+	Supercells int
+	// SkippedPoints counts points whose entire ring search was skipped by
+	// the supercell test, summed over rounds.
+	SkippedPoints int
+}
+
 // EMSTCtx is EMST with cancellation, checked once per Borůvka round
 // (components halve per round, so the first round — the bulk of the work —
 // is the longest uncancellable window). On cancellation it returns
 // (nil, ctx.Err()); a partial edge set is never returned.
 func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
+	return emstCtx(ctx, pts, nil)
+}
+
+func emstCtx(ctx context.Context, pts []geom.Point, st *emstStats) ([]Edge, error) {
 	n := len(pts)
 	if n < emstCutoff {
 		return Prim(pts), nil
@@ -197,6 +216,17 @@ func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 		members[fill[cellOf[i]]] = int32(i)
 		fill[cellOf[i]]++
 	}
+	// Cell-grouped copies of the coordinates and (per round) the component
+	// roots, indexed by CSR slot rather than point index. The ring search
+	// streams members[s:e] ranges, and reading through these keeps its
+	// hottest loads sequential instead of gather-loads through members.
+	xsM := make([]float64, n)
+	ysM := make([]float64, n)
+	for k, j := range members {
+		xsM[k] = pts[j].X
+		ysM[k] = pts[j].Y
+	}
+	rootM := make([]int32, n)
 
 	dsu := unionfind.New(n)
 	edges := make([]Edge, 0, n-1)
@@ -213,6 +243,24 @@ func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 	// interior to a component are uniform, and the ring search skips them
 	// without touching their members — the bulk of the late-round work.
 	cellRoot := make([]int32, d0*d0)
+	// Supercell skipping, one pyramid level up from the cell tags: coarse
+	// cells of side S = 2·cs (d0 is a power of two ≥ 16, so dc = d0/2 tiles
+	// the grid exactly). coarseRoot[cc] is the common root of the coarse
+	// cell's points (-2 empty, -1 mixed); blockRoot[cc] is that root when
+	// additionally every in-grid coarse neighbor is empty or has the same
+	// root — then every foreign point is outside the 3×3 coarse block, hence
+	// at distance ≥ S from any point of cc, and a point whose component
+	// already holds a candidate strictly below (S·(1-1e-9))² can skip its
+	// entire ring scan. The 1e-9 pad absorbs the ulp by which cellIdx's
+	// clamped division can misplace a point relative to its cell rectangle;
+	// the strict inequality keeps equal-weight ties inside the scan, the
+	// same device as the ring lower bound.
+	dc := d0 / 2
+	coarseRoot := make([]int32, dc*dc)
+	blockRoot := make([]int32, dc*dc)
+	skipCut := 2 * cs * (1 - 1e-9)
+	skipCut *= skipCut
+	var stats emstStats
 	// better reports whether candidate (d2, u, v) precedes the root's
 	// current best under Kruskal's order (weight, sorted endpoint pair).
 	better := func(r int, d2 float64, u, v int32) bool {
@@ -240,68 +288,217 @@ func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 				roots = append(roots, int32(i))
 			}
 		}
+		for k, j := range members {
+			rootM[k] = rootOf[j]
+		}
 		for c := 0; c < d0*d0; c++ {
 			s, e := starts[c], starts[c+1]
 			if s == e {
 				cellRoot[c] = -1
 				continue
 			}
-			cr := rootOf[members[s]]
-			for _, j := range members[s+1 : e] {
-				if rootOf[j] != cr {
+			cr := rootM[s]
+			for _, rj := range rootM[s+1 : e] {
+				if rj != cr {
 					cr = -1
 					break
 				}
 			}
 			cellRoot[c] = cr
 		}
-		// Minimum outgoing edge per component, via bounded ring search.
-		for i := 0; i < n; i++ {
-			r := int(rootOf[i])
-			p := pts[i]
-			cx, cy := cellIdx(p)
-			for ring := 0; ; ring++ {
-				// Ring lower bound: any point in a cell at Chebyshev ring
-				// distance k from p's cell is at least (k-1)·cs away from p,
-				// so once that exceeds the component's best candidate the
-				// remaining rings cannot contain the minimum (nor an
-				// equal-weight tie, which the strict inequality excludes).
-				if ring >= 2 {
-					lb := float64(ring-1) * cs
-					if lb*lb > bestD2[r] {
-						break
-					}
-				}
-				x0, x1 := cx-ring, cx+ring
-				y0, y1 := cy-ring, cy+ring
-				if x0 < 0 && x1 >= d0 && y0 < 0 && y1 >= d0 {
-					break // the shell lies entirely outside the grid
-				}
-				for y := y0; y <= y1; y++ {
-					if y < 0 || y >= d0 {
-						continue
-					}
-					for x := x0; x <= x1; x++ {
-						if x < 0 || x >= d0 {
+		stats.Rounds++
+		// Coarse roots: fold each 2×2 block of fine cells (empty fine cells
+		// are wildcards; a mixed fine cell poisons the block).
+		for ccy := 0; ccy < dc; ccy++ {
+			for ccx := 0; ccx < dc; ccx++ {
+				cr := int32(-2)
+				for fy := 2 * ccy; fy < 2*ccy+2 && cr != -1; fy++ {
+					for fx := 2 * ccx; fx < 2*ccx+2; fx++ {
+						c := fy*d0 + fx
+						if starts[c] == starts[c+1] {
 							continue
 						}
-						// Ring shell only: interior cells were visited by
-						// smaller rings.
-						if ring > 0 && x != x0 && x != x1 && y != y0 && y != y1 {
+						fr := cellRoot[c]
+						if fr < 0 || (cr != -2 && fr != cr) {
+							cr = -1
+							break
+						}
+						cr = fr
+					}
+				}
+				coarseRoot[ccy*dc+ccx] = cr
+			}
+		}
+		// Block roots: a coarse cell keeps its root only if all ≤8 in-grid
+		// coarse neighbors are empty or same-component (out-of-grid space
+		// holds no points and is vacuously fine).
+		for ccy := 0; ccy < dc; ccy++ {
+			for ccx := 0; ccx < dc; ccx++ {
+				cc := ccy*dc + ccx
+				cr := coarseRoot[cc]
+				if cr >= 0 {
+					for ny := ccy - 1; ny <= ccy+1 && cr >= 0; ny++ {
+						if ny < 0 || ny >= dc {
 							continue
 						}
-						c := y*d0 + x
-						if int(cellRoot[c]) == r {
-							continue // every member is same-component
-						}
-						for _, j := range members[starts[c]:starts[c+1]] {
-							if int(rootOf[j]) == r {
+						for nx := ccx - 1; nx <= ccx+1; nx++ {
+							if nx < 0 || nx >= dc {
 								continue
 							}
-							d2 := p.Dist2(pts[j])
-							if d2 < bestD2[r] || (d2 == bestD2[r] && better(r, d2, int32(i), j)) {
-								bestD2[r] = d2
-								bestU[r], bestV[r] = int32(i), j
+							if nr := coarseRoot[ny*dc+nx]; nr != -2 && nr != cr {
+								cr = -1
+								break
+							}
+						}
+					}
+				}
+				if cr >= 0 {
+					stats.Supercells++
+				}
+				blockRoot[cc] = cr
+			}
+		}
+		// Minimum outgoing edge per component, via bounded ring search. The
+		// scan walks cells (not points in index order) so the per-point
+		// loads stream through the slot-indexed rootM/xsM/ysM and adjacent
+		// scans share their ring rows of cellRoot/starts — but grid rows are
+		// visited in bit-reversed order, not top-to-bottom. The shared
+		// per-component bound is what makes interior points cheap, and it
+		// only collapses once some near-boundary point of the component has
+		// scanned; a plain row-major sweep can keep a component's bound
+		// enormous until the sweep finally reaches its boundary (every point
+		// above it then pays a huge ring search), while bit-reversed rows
+		// reach within d0/2^k of every row after 2^k rows, so bounds decay
+		// geometrically as in the old random-index order.
+		//
+		// Scan order cannot change the selected edges — every pruning rule
+		// (ring lower bound, supercell skip) discards only pairs strictly
+		// worse than the component's best at skip time, which bestD2's
+		// monotone decrease makes strictly worse than the final best, so
+		// each root still ends at the total-order minimum of its outgoing
+		// pairs. Only the stats counters are order-sensitive.
+		lg := bits.TrailingZeros32(uint32(d0)) // d0 is a power of two
+		for ry := 0; ry < d0; ry++ {
+			cy := int(bits.Reverse32(uint32(ry)) >> (32 - lg))
+			for cx := 0; cx < d0; cx++ {
+				home := cy*d0 + cx
+				ms, me := starts[home], starts[home+1]
+				if ms == me {
+					continue
+				}
+				br := blockRoot[(cy>>1)*dc+(cx>>1)]
+				for k := ms; k < me; k++ {
+					r := int(rootM[k])
+					// Supercell skip: every foreign point is ≥ S away, and
+					// the component already holds a strictly better candidate
+					// (bestD2 only decreases within a round, so the test
+					// stays valid). The first point of a fresh component sees
+					// bestD2 = +Inf and always scans, so every component
+					// still finds its outgoing edge.
+					if br == int32(r) && bestD2[r] < skipCut {
+						stats.SkippedPoints++
+						continue
+					}
+					i := members[k]
+					px, py := xsM[k], ysM[k]
+					for ring := 0; ; ring++ {
+						// Ring lower bound: any point in a cell at Chebyshev
+						// ring distance q from p's cell is at least (q-1)·cs
+						// away from p, so once that exceeds the component's
+						// best candidate the remaining rings cannot contain
+						// the minimum (nor an equal-weight tie, which the
+						// strict inequality excludes).
+						if ring >= 2 {
+							lb := float64(ring-1) * cs
+							if lb*lb > bestD2[r] {
+								break
+							}
+						}
+						x0, x1 := cx-ring, cx+ring
+						y0, y1 := cy-ring, cy+ring
+						if x0 < 0 && x1 >= d0 && y0 < 0 && y1 >= d0 {
+							break // the shell lies entirely outside the grid
+						}
+						lx := x0
+						if lx < 0 {
+							lx = 0
+						}
+						hx := x1
+						if hx >= d0 {
+							hx = d0 - 1
+						}
+						// The shell's top and bottom rows are contiguous cell
+						// spans, so their members occupy one contiguous slot
+						// range each: scan it directly (the per-point rootM
+						// test subsumes the per-cell cellRoot skip).
+						// y0 ≤ cy < d0 and y1 ≥ cy ≥ 0 always hold.
+						for pass := 0; pass < 2; pass++ {
+							y := y0
+							if pass == 1 {
+								y = y1
+								if y1 == y0 {
+									break
+								}
+							} else if y < 0 {
+								continue
+							}
+							if y >= d0 {
+								continue
+							}
+							row := y * d0
+							for k2 := starts[row+lx]; k2 < starts[row+hx+1]; k2++ {
+								if int(rootM[k2]) == r {
+									continue
+								}
+								dx := px - xsM[k2]
+								dy := py - ysM[k2]
+								d2 := dx*dx + dy*dy
+								if d2 < bestD2[r] || (d2 == bestD2[r] && better(r, d2, i, members[k2])) {
+									bestD2[r] = d2
+									bestU[r], bestV[r] = i, members[k2]
+								}
+							}
+						}
+						// Left and right shell columns, interior y only (the
+						// corner cells belong to the rows above).
+						ly := y0 + 1
+						if ly < 0 {
+							ly = 0
+						}
+						hy := y1 - 1
+						if hy >= d0 {
+							hy = d0 - 1
+						}
+						for pass := 0; pass < 2; pass++ {
+							x := x0
+							if pass == 1 {
+								x = x1
+								if x1 == x0 {
+									break
+								}
+								if x >= d0 {
+									continue
+								}
+							} else if x < 0 {
+								continue
+							}
+							for y := ly; y <= hy; y++ {
+								c := y*d0 + x
+								if int(cellRoot[c]) == r {
+									continue // every member is same-component
+								}
+								for k2 := starts[c]; k2 < starts[c+1]; k2++ {
+									if int(rootM[k2]) == r {
+										continue
+									}
+									dx := px - xsM[k2]
+									dy := py - ysM[k2]
+									d2 := dx*dx + dy*dy
+									if d2 < bestD2[r] || (d2 == bestD2[r] && better(r, d2, i, members[k2])) {
+										bestD2[r] = d2
+										bestU[r], bestV[r] = i, members[k2]
+									}
+								}
 							}
 						}
 					}
@@ -328,6 +525,9 @@ func EMSTCtx(ctx context.Context, pts []geom.Point) ([]Edge, error) {
 			// cannot.
 			return Prim(pts), nil
 		}
+	}
+	if st != nil {
+		*st = stats
 	}
 	return edges, nil
 }

@@ -1,6 +1,7 @@
 package mst
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -191,6 +192,83 @@ func TestEMSTTieHeavy(t *testing.T) {
 	if _, err := Build(pts, got, 0); err != nil {
 		t.Fatalf("EMST edges do not form a spanning tree: %v", err)
 	}
+}
+
+// TestEMSTSupercellSkip pins the supercell-skipping round structure at sizes
+// where whole coarse cells merge early: the edge set must stay identical to
+// the dense Prim oracle on uniform, clustered, and annulus geometry, and on
+// the uniform instance — where components' best outgoing candidates sit well
+// inside the 2-cell skip radius — the skip must actually engage, so the
+// optimization cannot silently regress into dead code.
+func TestEMSTSupercellSkip(t *testing.T) {
+	annulus := func(n int, seed uint64) []geom.Point {
+		r := rng.New(seed)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			rad := math.Pow(10, r.Float64()*4)
+			th := r.Float64() * 2 * math.Pi
+			pts[i] = geom.Point{X: rad * math.Cos(th), Y: rad * math.Sin(th)}
+		}
+		return pts
+	}
+	cases := []struct {
+		name      string
+		pts       []geom.Point
+		wantSkips bool
+	}{
+		{"uniform-4000", randomPoints(4000, 51, 1000), true},
+		{"cluster-4000", clusteredPoints(4000, 52), false},
+		{"annulus-3000", annulus(3000, 53), false},
+	}
+	for _, tc := range cases {
+		var st emstStats
+		edges, err := emstCtx(context.Background(), tc.pts, &st)
+		if err != nil {
+			t.Fatalf("%s: emstCtx: %v", tc.name, err)
+		}
+		if !sameEdges(edges, Prim(tc.pts)) {
+			t.Fatalf("%s: supercell-skipping EMST edge set differs from Prim", tc.name)
+		}
+		if st.Rounds == 0 {
+			t.Fatalf("%s: stats not collected", tc.name)
+		}
+		if tc.wantSkips && st.SkippedPoints == 0 {
+			t.Fatalf("%s: supercell skip never engaged (supercells=%d)", tc.name, st.Supercells)
+		}
+		t.Logf("%s: rounds=%d supercells=%d skipped_points=%d",
+			tc.name, st.Rounds, st.Supercells, st.SkippedPoints)
+	}
+}
+
+// TestEMSTSupercellTieHeavy re-pins the tie-breaking guarantee on the exact
+// integer grid at a size where supercells form: equal-weight candidates must
+// not be skipped into a suboptimal (or non-spanning) choice. Edge sets may
+// legitimately differ from Prim's under ties, so the assertion is spanning +
+// optimal total weight, like TestEMSTTieHeavy.
+func TestEMSTSupercellTieHeavy(t *testing.T) {
+	var pts []geom.Point
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			pts = append(pts, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	var st emstStats
+	got, err := emstCtx(context.Background(), pts, &st)
+	if err != nil {
+		t.Fatalf("emstCtx: %v", err)
+	}
+	if len(got) != len(pts)-1 {
+		t.Fatalf("EMST returned %d edges for %d points", len(got), len(pts))
+	}
+	wantW := TotalWeight(Prim(pts))
+	if gotW := TotalWeight(got); math.Abs(gotW-wantW) > 1e-9*wantW {
+		t.Fatalf("tie-heavy: EMST weight %.12g != optimum %.12g", gotW, wantW)
+	}
+	if _, err := Build(pts, got, 0); err != nil {
+		t.Fatalf("EMST edges do not form a spanning tree: %v", err)
+	}
+	t.Logf("tie-heavy 64x64: rounds=%d supercells=%d skipped_points=%d",
+		st.Rounds, st.Supercells, st.SkippedPoints)
 }
 
 // TestEMSTDegenerate: coincident points (zero extent) must fall back to the

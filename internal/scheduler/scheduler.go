@@ -71,21 +71,41 @@ type Config struct {
 	// strategy allocates a fresh one. A Workspace is not safe for concurrent
 	// use; two simultaneous Schedule calls must not share one.
 	WS *coloring.Workspace
+	// Lookahead, when non-nil, serves conflict-graph construction through a
+	// γ-lookahead cache: the first build per link set is strength-annotated
+	// at the lookahead ceiling, and later attempts of a γ-escalation ladder
+	// (any γ ≤ Lookahead.GammaMax()) are materialized by a linear filter
+	// scan instead of a grid rebuild. All strategies route their builds —
+	// including lengthclass's per-class graphs — through it. Graphs are
+	// bit-identical either way; only Diag's build-timing split changes.
+	Lookahead *conflict.Lookahead
+}
+
+// ConflictFamily materializes the γ-indexed conflict-threshold family the
+// Config selects; ConflictFamily().At(c.Gamma) is the concrete Func. The
+// factored (γ, h) form is what lets a lookahead build at an escalated γ
+// serve every smaller γ exactly.
+func (c Config) ConflictFamily() (conflict.Family, error) {
+	switch c.Graph {
+	case GraphGamma:
+		return conflict.GammaFamily(), nil
+	case GraphOblivious:
+		return conflict.PowerLawFamily(c.Delta), nil
+	case GraphArbitrary:
+		return conflict.LogThresholdFamily(c.SINR.Alpha), nil
+	default:
+		return conflict.Family{}, fmt.Errorf("scheduler: unknown graph kind %q", c.Graph)
+	}
 }
 
 // ConflictFunc materializes the conflict-threshold function the Config
 // selects, at its concrete γ.
 func (c Config) ConflictFunc() (conflict.Func, error) {
-	switch c.Graph {
-	case GraphGamma:
-		return conflict.Gamma(c.Gamma), nil
-	case GraphOblivious:
-		return conflict.PowerLaw(c.Gamma, c.Delta), nil
-	case GraphArbitrary:
-		return conflict.LogThreshold(c.Gamma, c.SINR.Alpha), nil
-	default:
-		return conflict.Func{}, fmt.Errorf("scheduler: unknown graph kind %q", c.Graph)
+	fam, err := c.ConflictFamily()
+	if err != nil {
+		return conflict.Func{}, err
 	}
+	return fam.At(c.Gamma), nil
 }
 
 // Diag reports what a strategy did, for metrics and invariant checks.
@@ -122,6 +142,13 @@ type Diag struct {
 	BuildSec float64
 	OrderSec float64
 	ColorSec float64
+	// BuildFilterSec is the wall-clock of lookahead cache service — link-set
+	// hashing plus the γ filter scan — kept out of BuildSec so the
+	// full-build vs filter split is visible in metrics. BuildReused reports
+	// that at least one conflict graph of this Schedule call was served by
+	// filtering a cached strength-annotated build instead of a fresh build.
+	BuildFilterSec float64
+	BuildReused    bool
 }
 
 // Strategy is one scheduling algorithm. Schedule must return a schedule over
@@ -182,21 +209,46 @@ func All() []Strategy {
 	return out
 }
 
+// buildGraph constructs the conflict graph of links under fam.At(gamma),
+// accumulating timings into d. With cfg.Lookahead set it routes through the
+// γ-lookahead cache (full annotated build on first contact with a link set,
+// filter scan afterwards); otherwise it is a plain BuildCtx. The resulting
+// graph is bit-identical either way.
+func buildGraph(ctx context.Context, links []geom.Link, fam conflict.Family, gamma float64,
+	cfg Config, d *Diag) (*conflict.Graph, error) {
+	if cfg.Lookahead != nil {
+		g, st, err := cfg.Lookahead.GraphFor(ctx, links, fam, gamma)
+		d.BuildSec += st.BuildSec
+		d.BuildFilterSec += st.FilterSec
+		if st.Reused {
+			d.BuildReused = true
+		}
+		return g, err
+	}
+	t0 := time.Now()
+	g, err := conflict.BuildCtx(ctx, links, fam.At(gamma))
+	d.BuildSec += time.Since(t0).Seconds()
+	return g, err
+}
+
 // colorWith is the shared body of the single-graph strategies: build the
-// conflict graph for cfg, color it with the supplied coloring (which gets
-// the Config's Workspace — or a fresh one — and a pre-sized palette, and may
+// conflict graph for fam at cfg.Gamma (through the lookahead cache when the
+// Config carries one), color it with the supplied coloring (which gets the
+// Config's Workspace — or a fresh one — and a pre-sized palette, and may
 // split its time into Diag.OrderSec via the diag pointer), and emit the
 // coloring schedule. A ctx cancel surfaces from the graph build.
-func colorWith(ctx context.Context, links []geom.Link, f conflict.Func, ws *coloring.Workspace,
+func colorWith(ctx context.Context, links []geom.Link, fam conflict.Family, cfg Config,
 	color func(*conflict.Graph, *coloring.Workspace, []int, *Diag) int) (*schedule.Schedule, Diag, error) {
-	t0 := time.Now()
-	g, err := conflict.BuildCtx(ctx, links, f)
+	f := fam.At(cfg.Gamma)
+	d := Diag{Func: f}
+	g, err := buildGraph(ctx, links, fam, cfg.Gamma, cfg, &d)
 	if err != nil {
-		return nil, Diag{Func: f, BuildSec: time.Since(t0).Seconds()}, err
+		return nil, d, err
 	}
-	d := Diag{Func: f, Graph: g, BuildSec: time.Since(t0).Seconds()}
+	d.Graph = g
 
-	t0 = time.Now()
+	ws := cfg.WS
+	t0 := time.Now()
 	colors := make([]int, g.N())
 	if ws == nil {
 		ws = coloring.NewWorkspace()
@@ -219,11 +271,11 @@ type greedyStrategy struct{}
 func (greedyStrategy) Name() string { return Greedy }
 
 func (greedyStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
-	f, err := cfg.ConflictFunc()
+	fam, err := cfg.ConflictFamily()
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, d *Diag) int {
+	return colorWith(ctx, links, fam, cfg, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, d *Diag) int {
 		t0 := time.Now()
 		order := ws.LengthOrder(g)
 		d.OrderSec = time.Since(t0).Seconds()
@@ -237,11 +289,11 @@ type dsaturStrategy struct{}
 func (dsaturStrategy) Name() string { return DSatur }
 
 func (dsaturStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
-	f, err := cfg.ConflictFunc()
+	fam, err := cfg.ConflictFamily()
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+	return colorWith(ctx, links, fam, cfg, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
 		return ws.DSatur(g, colors)
 	})
 }
@@ -257,11 +309,11 @@ type jpStrategy struct{}
 func (jpStrategy) Name() string { return JP }
 
 func (jpStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
-	f, err := cfg.ConflictFunc()
+	fam, err := cfg.ConflictFamily()
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+	return colorWith(ctx, links, fam, cfg, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
 		return ws.JP(g, jpSeed, colors)
 	})
 }
@@ -285,12 +337,22 @@ func NaiveFunc(k float64) conflict.Func {
 	}
 }
 
+// NaiveFamily is NaiveFunc in factored (γ, h) form — h(x) = x — so the
+// protocol-model strawman rides the same γ-lookahead cache as the paper's
+// families.
+func NaiveFamily() conflict.Family {
+	return conflict.Family{
+		Name: "protocol",
+		H:    func(x float64) float64 { return x },
+		At:   NaiveFunc,
+	}
+}
+
 func (naiveStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
-	if _, err := cfg.ConflictFunc(); err != nil {
+	if _, err := cfg.ConflictFamily(); err != nil {
 		return nil, Diag{}, err // reject bogus graph kinds uniformly
 	}
-	f := NaiveFunc(cfg.Gamma)
-	return colorWith(ctx, links, f, cfg.WS, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
+	return colorWith(ctx, links, NaiveFamily(), cfg, func(g *conflict.Graph, ws *coloring.Workspace, colors []int, _ *Diag) int {
 		return ws.FirstFit(g, coloring.IndexOrder(g.N()), colors)
 	})
 }
@@ -312,10 +374,11 @@ type lengthClassStrategy struct{}
 func (lengthClassStrategy) Name() string { return LengthClass }
 
 func (lengthClassStrategy) Schedule(ctx context.Context, links []geom.Link, cfg Config) (*schedule.Schedule, Diag, error) {
-	f, err := cfg.ConflictFunc()
+	fam, err := cfg.ConflictFamily()
 	if err != nil {
 		return nil, Diag{}, err
 	}
+	f := fam.At(cfg.Gamma)
 	d := Diag{Func: f}
 	if len(links) == 0 {
 		return schedule.New(links, nil), d, nil
@@ -340,9 +403,10 @@ func (lengthClassStrategy) Schedule(ctx context.Context, links []geom.Link, cfg 
 		for k, i := range idx {
 			classLinks[k] = links[i]
 		}
-		t0 := time.Now()
-		g, err := conflict.BuildCtx(ctx, classLinks, f)
-		d.BuildSec += time.Since(t0).Seconds()
+		// Per-class graphs route through the lookahead cache too: the class
+		// partition is γ-independent, so on a retry each class's annotated
+		// build is found by content hash and filtered down.
+		g, err := buildGraph(ctx, classLinks, fam, cfg.Gamma, cfg, &d)
 		if err != nil {
 			return nil, d, err
 		}
@@ -351,7 +415,7 @@ func (lengthClassStrategy) Schedule(ctx context.Context, links []geom.Link, cfg 
 			d.MaxDegree = md
 		}
 
-		t0 = time.Now()
+		t0 := time.Now()
 		order := ws.LengthOrder(g)
 		d.OrderSec += time.Since(t0).Seconds()
 		t0 = time.Now()

@@ -3,10 +3,12 @@
 #
 # Guards the scheduling and verification hot paths: fails when, at the probe
 # size (the largest measured n present in the baseline, n=20000 as checked
-# in), the measured greedy pipeline_sec or verify_sec exceeds MAX_RATIO
-# (default 1.5) times the checked-in baseline — and, independently of the
-# baseline, when the fast verify engine's exact_pairs_frac exceeds 0.05 at
-# the probe size. The fraction gate is hardware-independent: it measures how
+# in), the measured greedy pipeline_sec, build_sec, or verify_sec exceeds
+# MAX_RATIO (default 1.5) times the checked-in baseline — and, independently
+# of the baseline, when the fast verify engine's exact_pairs_frac exceeds
+# 0.05 at the probe size, or when the probe instance escalated γ without the
+# retry being served from the lookahead filter scan (build_reused). The
+# fraction gate is hardware-independent: it measures how
 # much of the naive O(m²) pairwise work the engine performed, so a blown
 # far-field bound or broken refinement ladder trips it even on a fast
 # runner. Both files use the BENCH_pipeline.json schema (runs[] per
@@ -51,7 +53,7 @@ if n is None:
     sys.exit(f"{measured_path}: no size overlaps the baseline sizes {sorted(base)}")
 
 failures = []
-for field in ("pipeline_sec", "verify_sec"):
+for field in ("pipeline_sec", "build_sec", "verify_sec"):
     b, m = base[n].get(field), meas[n].get(field)
     if not b:
         print(f"greedy n={n}: baseline lacks {field}; skipping its time gate")
@@ -60,6 +62,17 @@ for field in ("pipeline_sec", "verify_sec"):
     print(f"greedy n={n}: {field} {m:.3f}s vs baseline {b:.3f}s -> {ratio:.2f}x (limit {max_ratio}x)")
     if ratio > max_ratio:
         failures.append(f"{field} regression: {ratio:.2f}x exceeds the {max_ratio}x budget")
+
+# γ-lookahead gate: the probe instance (γ=2 oblivious) escalates, and the
+# retry's conflict graph must come from the lookahead filter scan — a lost
+# build_reused means every escalation pays a second full build again.
+retries = meas[n].get("gamma_retries", 0)
+reused = meas[n].get("build_reused", False)
+print(f"greedy n={n}: gamma_retries {retries}, build_reused {reused}")
+if retries >= 1 and not reused:
+    failures.append(
+        "lookahead regression: the escalating probe instance rebuilt its "
+        "conflict graph from scratch instead of filtering the lookahead build")
 
 frac = meas[n].get("exact_pairs_frac", 0.0)
 print(f"greedy n={n}: exact_pairs_frac {frac:.4g} (limit {MAX_EXACT_PAIRS_FRAC})")
