@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aggrate/internal/service"
+)
+
+// TestLoadtestFlagValidation: loadtest refuses to run without a target and
+// rejects positional arguments or nonsense knobs before sending anything.
+func TestLoadtestFlagValidation(t *testing.T) {
+	if _, stderr, code := runCLI("loadtest"); code != 1 ||
+		!strings.Contains(stderr, "--addr is required") {
+		t.Fatalf("loadtest without addr: code=%d stderr=%s", code, stderr)
+	}
+	if _, stderr, code := runCLI("loadtest", "--addr", "x", "extra"); code != 1 ||
+		!strings.Contains(stderr, "no positional arguments") {
+		t.Fatalf("loadtest with positional arg: code=%d stderr=%s", code, stderr)
+	}
+	if _, stderr, code := runCLI("loadtest", "--addr", "x", "--clients", "0"); code != 1 ||
+		!strings.Contains(stderr, "must be positive") {
+		t.Fatalf("loadtest with zero clients: code=%d stderr=%s", code, stderr)
+	}
+}
+
+// TestLoadtestSmoke drives a real in-process server for a couple of seconds
+// and checks the BENCH_serve.json shape: jobs completed, latency
+// percentiles populated, and the identical-seed traffic produced cache
+// hits.
+func TestLoadtestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadtest smoke runs multi-second wall-clock traffic")
+	}
+	svc, err := service.New(service.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() { ts.Close(); svc.Close() }()
+
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	_, stderr, code := runCLI("loadtest",
+		"--addr", ts.URL, "--duration", "3s", "--clients", "2", "--seed-pool", "4", "--out", out)
+	if code != 0 {
+		t.Fatalf("loadtest exit %d\n%s", code, stderr)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep LoadReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("BENCH_serve.json not JSON: %v", err)
+	}
+	if rep.JobsDone < 2 {
+		t.Fatalf("loadtest finished %d jobs, want >= 2\n%s", rep.JobsDone, b)
+	}
+	if rep.LatencySec.P50 <= 0 || rep.LatencySec.P99 < rep.LatencySec.P50 {
+		t.Fatalf("latency percentiles malformed: %+v", rep.LatencySec)
+	}
+	if rep.ThroughputJobsPerSec <= 0 {
+		t.Fatalf("throughput %v, want > 0", rep.ThroughputJobsPerSec)
+	}
+	if rep.SpecsCompleted < rep.JobsDone {
+		t.Fatalf("specs %d < jobs %d", rep.SpecsCompleted, rep.JobsDone)
+	}
+	if len(rep.Curve) == 0 {
+		t.Fatal("report has no per-second curve")
+	}
+	// With 4 distinct seeds and a Zipf-skewed size ladder, repeats are
+	// guaranteed well within a 3s run.
+	if rep.CacheHits == 0 {
+		t.Fatalf("no cache hits in %d specs across a 4-seed pool", rep.SpecsCompleted)
+	}
+}
+
+// TestLoadtestBackoff: a rejected submission is retried after the server's
+// Retry-After (or the internal backoff when absent), the rejection code is
+// tallied, and the eventual 202 wins.
+func TestLoadtestBackoff(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		switch calls {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(503)
+			w.Write([]byte(`{"error":"full","code":"queue_full"}`))
+		case 2:
+			w.WriteHeader(429)
+			w.Write([]byte(`{"error":"slow down","code":"rate_limited"}`))
+		default:
+			w.WriteHeader(202)
+			w.Write([]byte(`{"id":"j000042"}`))
+		}
+	}))
+	defer ts.Close()
+
+	st := &ltStats{rejected: make(map[string]int)}
+	rng := rand.New(rand.NewSource(7))
+	id, ok := ltSubmit(ts.Client(), ts.URL, "k",
+		map[string]any{"scenarios": []string{"uniform"}}, rng,
+		time.Now().Add(10*time.Second), st)
+	if !ok || id != "j000042" {
+		t.Fatalf("ltSubmit = (%q, %v), want accepted j000042", id, ok)
+	}
+	if st.retries != 2 || st.rejected["queue_full"] != 1 || st.rejected["rate_limited"] != 1 {
+		t.Fatalf("retry accounting: retries=%d rejected=%v", st.retries, st.rejected)
+	}
+	if st.submitted != 1 {
+		t.Fatalf("submitted=%d, want 1", st.submitted)
+	}
+}
+
+// TestLoadtestAwaitFailure: a vanished job (404 mid-poll) is counted as a
+// failure, not retried forever.
+func TestLoadtestAwaitFailure(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(404)
+		w.Write([]byte(`{"error":"gone","code":"not_found"}`))
+	}))
+	defer ts.Close()
+	st := &ltStats{rejected: make(map[string]int)}
+	ltAwait(ts.Client(), ts.URL, "j000001", time.Now(), st)
+	if st.failed != 1 || len(st.done) != 0 {
+		t.Fatalf("failed=%d done=%d, want 1, 0", st.failed, len(st.done))
+	}
+}

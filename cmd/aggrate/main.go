@@ -13,7 +13,10 @@
 //	                  the full pipeline per strategy across instance sizes
 //	                  and GOMAXPROCS settings, emit BENCH_pipeline.json
 //	aggrate serve   — long-running HTTP JSON job API over the same engine,
-//	                  with spec-keyed result caching (see internal/service)
+//	                  with a durable job journal, spec-keyed result caching,
+//	                  admission control, and /metrics (see internal/service)
+//	aggrate loadtest — drive a running serve instance with heavy-tailed
+//	                  traffic and write BENCH_serve.json
 //
 // run and bench accept --cpuprofile/--memprofile to write pprof profiles of
 // the exercised pipeline, and --timeout to bound the batch wall clock. A
@@ -50,6 +53,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -84,6 +88,8 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 		err = cmdBench(args[1:], stdout, stderr)
 	case "serve":
 		err = cmdServe(args[1:], stdout, stderr)
+	case "loadtest":
+		err = cmdLoadtest(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stderr)
 		return 0
@@ -106,12 +112,13 @@ func runMain(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintf(w, `usage: aggrate <run|compare|bench|serve> [flags]
+	fmt.Fprintf(w, `usage: aggrate <run|compare|bench|serve|loadtest> [flags]
 
-run     executes an experiment batch; see 'aggrate run -h'
-compare runs all scheduling strategies on identical instances; see 'aggrate compare -h'
-bench   times conflict-graph builds and the full pipeline; see 'aggrate bench -h'
-serve   runs the HTTP job API with spec-keyed result caching; see 'aggrate serve -h'
+run      executes an experiment batch; see 'aggrate run -h'
+compare  runs all scheduling strategies on identical instances; see 'aggrate compare -h'
+bench    times conflict-graph builds and the full pipeline; see 'aggrate bench -h'
+serve    runs the HTTP job API with a durable journal and result caching; see 'aggrate serve -h'
+loadtest drives a running server with heavy-tailed traffic; see 'aggrate loadtest -h'
 
 scenario presets: %s
 algorithms:       %s
@@ -637,8 +644,8 @@ type AlgoBench struct {
 	ColorSec       float64 `json:"color_sec"`
 	GammaRetries   int     `json:"gamma_retries"`
 	Verified       bool    `json:"verified"`
-	VerifySec        float64 `json:"verify_sec"`
-	ExactPairsFrac   float64 `json:"exact_pairs_frac"`
+	VerifySec      float64 `json:"verify_sec"`
+	ExactPairsFrac float64 `json:"exact_pairs_frac"`
 	// VerifyWarmSec times a second verification of the same schedule through
 	// the pipeline's incremental cache (every unchanged slot answers from its
 	// cached exact margin); VerifyReusedSlots counts the slots so answered,
@@ -903,20 +910,31 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 	return run, nil
 }
 
-// cmdServe runs the HTTP job API (internal/service) until SIGINT: POST
-// /v1/jobs submits a spec grid, GET /v1/jobs/{id} reports progress, GET
-// /v1/jobs/{id}/stream streams results as NDJSON, DELETE /v1/jobs/{id}
-// cancels via the engine's context plumbing, GET /v1/healthz reports
-// liveness. Repeated specs are served from an LRU cache keyed by the
-// canonical spec hash, marked cache_hit in the responses.
+// cmdServe runs the HTTP job API (internal/service) until SIGINT/SIGTERM:
+// POST /v1/jobs submits a spec grid, GET /v1/jobs/{id} reports progress, GET
+// /v1/jobs/{id}/stream streams events and results as NDJSON, DELETE
+// /v1/jobs/{id} cancels via the engine's context plumbing, GET /v1/healthz
+// reports liveness, GET /metrics exposes Prometheus text. With --journal set
+// the server is durable: a restart resumes interrupted jobs from their last
+// completed spec. Repeated specs are served from a byte-budgeted LRU cache
+// keyed by the canonical spec hash.
 func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fs := newFlagSet("serve", stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	workers := fs.Int("workers", 0, "per-job instance pool width (0 = GOMAXPROCS)")
 	cacheSize := fs.Int("cache", 4096, "LRU result-cache capacity in specs")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "LRU result-cache budget in approximate encoded bytes")
 	queueSize := fs.Int("queue", 64, "bounded job-queue length (submissions beyond it get 503)")
 	maxSpecs := fs.Int("max-specs", 10000, "largest grid a single job may expand to")
 	maxJobs := fs.Int("max-jobs", 1024, "job records retained; oldest finished jobs are evicted past this")
+	journalPath := fs.String("journal", "", "job journal path; empty disables durability")
+	journalMax := fs.Int64("journal-max-bytes", 64<<20, "compact the journal once it grows past this many bytes")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client submissions/sec (token bucket); 0 disables")
+	rateBurst := fs.Int("rate-burst", 0, "token-bucket depth (0 = max(1, ceil(rate-limit)))")
+	maxPerClient := fs.Int("max-jobs-per-client", 0, "live (queued+running) jobs a client may hold; 0 disables")
+	shedWatermark := fs.Float64("shed-watermark", 0.75, "queue-depth fraction past which large grids are shed")
+	shedMaxSpecs := fs.Int("shed-max-specs", 64, "largest grid admitted while shedding")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound before in-flight work is hard-cancelled")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -924,13 +942,29 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("serve takes no positional arguments, got %q", fs.Args())
 	}
 
-	svc := service.New(service.Config{
-		Workers:   *workers,
-		QueueSize: *queueSize,
-		CacheSize: *cacheSize,
-		MaxSpecs:  *maxSpecs,
-		MaxJobs:   *maxJobs,
+	faults := service.FaultsFromEnv()
+	if faults.JournalFailEvery > 0 || faults.JournalStall > 0 || faults.KillAfterSpecs > 0 {
+		fmt.Fprintf(stderr, "aggrate: FAULT INJECTION ARMED: %+v\n", faults)
+	}
+	svc, err := service.New(service.Config{
+		Workers:          *workers,
+		QueueSize:        *queueSize,
+		CacheSize:        *cacheSize,
+		CacheBytes:       *cacheBytes,
+		MaxSpecs:         *maxSpecs,
+		MaxJobs:          *maxJobs,
+		JournalPath:      *journalPath,
+		JournalMaxBytes:  *journalMax,
+		RateLimit:        *rateLimit,
+		RateBurst:        *rateBurst,
+		MaxJobsPerClient: *maxPerClient,
+		ShedWatermark:    *shedWatermark,
+		ShedMaxSpecs:     *shedMaxSpecs,
+		Faults:           faults,
 	})
+	if err != nil {
+		return err
+	}
 	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -942,7 +976,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "aggrate: serving on http://%s\n", ln.Addr())
 
 	srv := &http.Server{Handler: svc.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -950,11 +984,14 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(stderr, "aggrate: shutting down")
-		// Cancel the jobs before draining HTTP: an open /stream handler only
-		// returns once its job goes terminal, so closing the service first is
-		// what lets Shutdown finish (and stops the engine burning CPU).
-		svc.Close()
+		fmt.Fprintln(stderr, "aggrate: draining (next spec boundary, journal fsync)")
+		// Drain the service before the HTTP server: an open /stream handler
+		// only returns once its job goes terminal, so finishing the jobs
+		// (gracefully, at a spec boundary, with the journal fsynced) is what
+		// lets srv.Shutdown complete.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		svc.Shutdown(drainCtx)
+		cancel()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(shutdownCtx)

@@ -32,7 +32,7 @@ func runCLI(args ...string) (stdout, stderr string, code int) {
 var timingKeys = map[string]bool{
 	"generate_sec": true, "mst_sec": true, "build_sec": true,
 	"build_filter_sec": true,
-	"order_sec": true, "color_sec": true, "refine_sec": true,
+	"order_sec":        true, "color_sec": true, "refine_sec": true,
 	"verify_sec": true, "verify_warm_sec": true,
 	"power_solve_sec": true, "verify_naive_sec": true, "verify_speedup": true,
 	"total_sec": true, "mean_total_sec": true, "pipeline_sec": true,

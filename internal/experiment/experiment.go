@@ -382,8 +382,31 @@ type Timings struct {
 	// VerifyRefinedCells counts far-field cells the engine re-aggregated at
 	// tightened openings during adaptive refinement (its middle tier,
 	// between the coarse pyramid pass and the exact fallback).
-	VerifyRefinedCells int64 `json:"verify_refined_cells,omitempty"`
+	VerifyRefinedCells int64   `json:"verify_refined_cells,omitempty"`
 	TotalSec           float64 `json:"total_sec"`
+}
+
+// StageSecond is one element of Timings.StageSeconds: a pipeline stage name
+// and its accumulated wall-clock seconds.
+type StageSecond struct {
+	Stage string
+	Sec   float64
+}
+
+// StageSeconds exports the per-stage wall-clock split in pipeline order —
+// gen, mst, build (full builds plus lookahead filter scans), order, color,
+// verify — as (stage, seconds) pairs. It is the serving layer's metrics
+// hook: latency histograms are fed from it without reaching into the
+// individual Timings fields.
+func (t Timings) StageSeconds() []StageSecond {
+	return []StageSecond{
+		{"gen", t.GenerateSec},
+		{"mst", t.MSTSec},
+		{"build", t.BuildSec + t.BuildFilterSec},
+		{"order", t.OrderSec},
+		{"color", t.ColorSec},
+		{"verify", t.VerifySec},
+	}
 }
 
 // Result is the JSON-ready metric record of one instance.
@@ -703,6 +726,13 @@ type Runner struct {
 	// locking needed) but arrive in completion order, not spec order;
 	// callers needing deterministic output must reorder by index.
 	Sink func(i int, r *Result)
+	// Drain, when non-nil, is a soft-stop signal: once it is cancelled,
+	// workers stop claiming new specs but in-flight instances run to
+	// completion (and still reach the Sink). This is the graceful-shutdown
+	// hook of the serving layer — the batch stops at the next spec boundary
+	// instead of discarding partially computed instances the way a ctx
+	// cancel does.
+	Drain context.Context
 }
 
 // Run executes the specs and returns results in spec order — deterministic
@@ -723,6 +753,9 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]*Result, error) {
 			defer wg.Done()
 			ws := NewWorkspace()
 			for ctx.Err() == nil {
+				if r.Drain != nil && r.Drain.Err() != nil {
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= len(specs) {
 					return

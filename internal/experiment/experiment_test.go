@@ -492,3 +492,24 @@ func TestSpecKeyCanonical(t *testing.T) {
 		}
 	}
 }
+
+// TestStageSeconds: the Timings export hook covers every pipeline stage
+// exactly once, in pipeline order, with build folding in the filter time.
+func TestStageSeconds(t *testing.T) {
+	tm := Timings{
+		GenerateSec: 1, MSTSec: 2, BuildSec: 3, BuildFilterSec: 0.5,
+		OrderSec: 4, ColorSec: 5, VerifySec: 6,
+	}
+	got := tm.StageSeconds()
+	want := []StageSecond{
+		{"gen", 1}, {"mst", 2}, {"build", 3.5}, {"order", 4}, {"color", 5}, {"verify", 6},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("StageSeconds returned %d stages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postJobAs submits with an explicit client key and returns the decoded
+// error body (if any), status code, and Retry-After header.
+func postJobAs(t *testing.T, ts *httptest.Server, apiKey, body string) (map[string]string, int, string) {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&payload)
+	return payload, resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+// oneSpecGrid is the smallest admissible job: a single 60-node instance.
+const oneSpecGrid = `{"scenarios":["uniform"],"ns":[60],"seeds":1,"seed":%d}`
+
+// TestRateLimit: the per-client token bucket rejects the burst-exceeding
+// submission with 429, code rate_limited, and a positive Retry-After —
+// while a different API key is unaffected.
+func TestRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, RateLimit: 0.001, RateBurst: 1})
+
+	if _, code, _ := postJobAs(t, ts, "alice", `{"scenarios":["uniform"],"ns":[60],"seeds":1}`); code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	payload, code, retry := postJobAs(t, ts, "alice", `{"scenarios":["uniform"],"ns":[60],"seeds":1}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, want 429", code)
+	}
+	if payload["code"] != CodeRateLimited {
+		t.Fatalf("error code %q, want %q (body %v)", payload["code"], CodeRateLimited, payload)
+	}
+	if sec, err := strconv.Atoi(retry); err != nil || sec < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", retry)
+	}
+	// A different client has its own bucket.
+	if _, code, _ := postJobAs(t, ts, "bob", `{"scenarios":["uniform"],"ns":[60],"seeds":1}`); code != http.StatusAccepted {
+		t.Fatalf("other client: status %d, want 202", code)
+	}
+}
+
+// TestClientQuota: a client at its live-job cap gets 429 quota; finishing
+// (here: cancelling) a job frees the slot.
+func TestClientQuota(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxJobsPerClient: 1})
+
+	st, code, _ := func() (JobStatus, int, string) {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(bigGrid))
+		req.Header.Set("X-API-Key", "alice")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var s JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&s)
+		return s, resp.StatusCode, ""
+	}()
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	payload, code, retry := postJobAs(t, ts, "alice", bigGrid)
+	if code != http.StatusTooManyRequests || payload["code"] != CodeQuota {
+		t.Fatalf("over quota: status %d code %q, want 429 %q", code, payload["code"], CodeQuota)
+	}
+	if retry == "" {
+		t.Fatal("quota rejection carries no Retry-After")
+	}
+	deleteJob(t, ts, st.ID)
+	waitStatus(t, ts, st.ID, StatusCancelled, 10*time.Second)
+	if _, code, _ := postJobAs(t, ts, "alice", oneSpec(1)); code != http.StatusAccepted {
+		t.Fatalf("after cancel: status %d, want 202 (slot freed)", code)
+	}
+}
+
+func oneSpec(seed int) string {
+	return strings.Replace(`{"scenarios":["uniform"],"ns":[60],"seeds":1,"seed":SEED}`,
+		"SEED", strconv.Itoa(seed), 1)
+}
+
+// TestLoadShedding: past the watermark, large grids are shed with 503
+// shed_large_job while small grids are still admitted — and a full queue
+// rejects everything with queue_full.
+func TestLoadShedding(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueSize: 4, ShedWatermark: 0.5, ShedMaxSpecs: 2})
+
+	// Occupy the executor, then put 2 jobs in the queue: depth 2 = watermark.
+	running, code := postJob(t, ts, bigGrid)
+	if code != http.StatusAccepted {
+		t.Fatalf("running job: status %d", code)
+	}
+	var queued []string
+	for i := 0; i < 2; i++ {
+		st, code := postJob(t, ts, oneSpec(100+i))
+		if code != http.StatusAccepted {
+			t.Fatalf("queued job %d: status %d", i, code)
+		}
+		queued = append(queued, st.ID)
+	}
+
+	// A 4-spec grid exceeds ShedMaxSpecs: shed.
+	payload, code, retry := postJobAs(t, ts, "", smallGrid)
+	if code != http.StatusServiceUnavailable || payload["code"] != CodeShedLargeJob {
+		t.Fatalf("large grid at watermark: status %d code %q, want 503 %q", code, payload["code"], CodeShedLargeJob)
+	}
+	if retry == "" {
+		t.Fatal("shed rejection carries no Retry-After")
+	}
+	// A single-spec grid is still admitted.
+	st, code := postJob(t, ts, oneSpec(200))
+	if code != http.StatusAccepted {
+		t.Fatalf("small grid at watermark: status %d, want 202", code)
+	}
+	queued = append(queued, st.ID)
+	// One more fills the queue (depth 4); the next is queue_full.
+	st, code = postJob(t, ts, oneSpec(201))
+	if code != http.StatusAccepted {
+		t.Fatalf("queue-filling grid: status %d", code)
+	}
+	queued = append(queued, st.ID)
+	payload, code, retry = postJobAs(t, ts, "", oneSpec(202))
+	if code != http.StatusServiceUnavailable || payload["code"] != CodeQueueFull {
+		t.Fatalf("full queue: status %d code %q, want 503 %q", code, payload["code"], CodeQueueFull)
+	}
+	if retry == "" {
+		t.Fatal("queue_full rejection carries no Retry-After")
+	}
+
+	deleteJob(t, ts, running.ID)
+	for _, id := range queued {
+		deleteJob(t, ts, id)
+	}
+}
+
+// TestPriorityOrdering: with the executor busy, a higher-priority later
+// submission starts before an earlier lower-priority one.
+func TestPriorityOrdering(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	running, code := postJob(t, ts, bigGrid)
+	if code != http.StatusAccepted {
+		t.Fatalf("running job: status %d", code)
+	}
+	low, code := postJob(t, ts, `{"scenarios":["uniform"],"ns":[60],"seeds":1,"seed":301,"priority":0}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("low-priority submit: status %d", code)
+	}
+	high, code := postJob(t, ts, `{"scenarios":["uniform"],"ns":[60],"seeds":1,"seed":302,"priority":5}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("high-priority submit: status %d", code)
+	}
+	deleteJob(t, ts, running.ID)
+	waitStatus(t, ts, low.ID, StatusDone, 30*time.Second)
+	waitStatus(t, ts, high.ID, StatusDone, 30*time.Second)
+
+	runningAt := func(id string) time.Time {
+		for _, ev := range getStatus(t, ts, id).Events {
+			if ev.Event == "running" {
+				return ev.Time
+			}
+		}
+		t.Fatalf("job %s never recorded a running event", id)
+		return time.Time{}
+	}
+	if !runningAt(high.ID).Before(runningAt(low.ID)) {
+		t.Fatalf("priority 5 started at %v, after priority 0 at %v",
+			runningAt(high.ID), runningAt(low.ID))
+	}
+}
+
+// TestPriorityValidation: out-of-range priorities are a 400, not a silent
+// clamp.
+func TestPriorityValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	payload, code, _ := postJobAs(t, ts, "", `{"scenarios":["uniform"],"priority":101}`)
+	if code != http.StatusBadRequest || payload["code"] != CodeBadRequest {
+		t.Fatalf("priority 101: status %d code %q", code, payload["code"])
+	}
+}

@@ -2,7 +2,9 @@ package service
 
 import (
 	"container/list"
+	"encoding/json"
 	"sync"
+	"sync/atomic"
 
 	"aggrate/internal/experiment"
 )
@@ -11,23 +13,55 @@ import (
 // keyed by experiment.SpecKey. Cached *Result values are shared across jobs
 // and must be treated as immutable by every reader — the HTTP layer only
 // marshals them.
+//
+// Capacity is tracked in approximate encoded bytes (the JSON the HTTP layer
+// would emit, plus a fixed per-entry overhead), with the entry count as a
+// secondary bound: one n=1e6 result weighs its real ~kilobytes against the
+// budget instead of counting the same as a 60-node toy, so maxBytes caps
+// actual memory rather than entry count.
 type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	maxItems int
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions atomic.Int64
 }
 
 type cacheEntry struct {
-	key string
-	res *experiment.Result
+	key  string
+	res  *experiment.Result
+	size int64
 }
 
-func newResultCache(max int) *resultCache {
-	if max < 1 {
-		max = 1
+// cacheEntryOverhead approximates the per-entry bookkeeping (list element,
+// map slot, struct headers) added on top of the encoded payload.
+const cacheEntryOverhead = 256
+
+func newResultCache(maxItems int, maxBytes int64) *resultCache {
+	if maxItems < 1 {
+		maxItems = 1
 	}
-	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+	if maxBytes < 1 {
+		maxBytes = 256 << 20
+	}
+	return &resultCache{
+		maxItems: maxItems, maxBytes: maxBytes,
+		order: list.New(), items: make(map[string]*list.Element),
+	}
+}
+
+// approxResultSize is the eviction weight of one cached result: its JSON
+// encoding plus key and overhead. Marshal failures (impossible for Result)
+// fall back to the overhead alone.
+func approxResultSize(key string, res *experiment.Result) int64 {
+	n := int64(len(key) + cacheEntryOverhead)
+	if b, err := json.Marshal(res); err == nil {
+		n += int64(len(b))
+	}
+	return n
 }
 
 // get returns the cached result for key, promoting it to most recent.
@@ -36,27 +70,46 @@ func (c *resultCache) get(key string) (*experiment.Result, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
 
-// add inserts (or refreshes) key, evicting the least recently used entry
-// when the cache is over capacity.
+// add inserts (or refreshes) key, evicting least-recently-used entries until
+// both the byte and entry budgets hold. The newest entry always stays, even
+// when it alone exceeds maxBytes — refusing it would make the largest
+// results permanently uncacheable, the exact case the byte budget exists to
+// manage.
 func (c *resultCache) add(key string, res *experiment.Result) {
+	size := approxResultSize(key, res)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.res, ent.size = res, size
 		c.order.MoveToFront(el)
+		c.evictOver(1)
 		return
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
-	if c.order.Len() > c.max {
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res, size: size})
+	c.bytes += size
+	c.evictOver(1)
+}
+
+// evictOver drops LRU entries while either budget is exceeded, always
+// keeping at least keep entries. Callers hold c.mu.
+func (c *resultCache) evictOver(keep int) {
+	for c.order.Len() > keep && (c.order.Len() > c.maxItems || c.bytes > c.maxBytes) {
 		last := c.order.Back()
+		ent := last.Value.(*cacheEntry)
 		c.order.Remove(last)
-		delete(c.items, last.Value.(*cacheEntry).key)
+		delete(c.items, ent.key)
+		c.bytes -= ent.size
+		c.evictions.Add(1)
 	}
 }
 
@@ -65,4 +118,11 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// sizeBytes reports the tracked approximate byte footprint.
+func (c *resultCache) sizeBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

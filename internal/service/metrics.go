@@ -1,0 +1,309 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the server's hand-rolled Prometheus-text instrumentation: plain
+// atomic counters, callback gauges resolved at scrape time, and fixed-bucket
+// histograms. No dependencies — the text exposition format is stable and
+// simple enough to emit directly. Every series is registered up front and
+// rendered on every scrape (counters at 0 included), so dashboards and the
+// CI scrape check never see a series appear late or go missing.
+type metrics struct {
+	// Admission / lifecycle counters.
+	jobsSubmitted  atomic.Int64
+	jobsResumed    atomic.Int64
+	rejections     counterVec // reason: queue_full, rate_limited, quota, shed_large_job, shutting_down
+	specsCompleted counterVec // source: computed, cache, journal
+
+	// Journal counters (mirrored from the journal at scrape).
+	journalAppends       atomic.Int64
+	journalBytes         atomic.Int64
+	journalFsyncs        atomic.Int64
+	journalErrors        atomic.Int64
+	journalReplayedJobs  atomic.Int64
+	journalReplayedSpecs atomic.Int64
+	journalCompactions   atomic.Int64
+
+	// Per-stage pipeline latency histograms, fed from experiment.Timings.
+	stageSeconds *histogramVec
+	// End-to-end job duration (submit to terminal).
+	jobSeconds *histogram
+
+	// gauges and counterFns are the scrape-time callback sets; counterFns
+	// render with TYPE counter (monotonic values owned elsewhere, e.g. the
+	// result cache's hit/miss atomics).
+	gaugeMu    sync.Mutex
+	gauges     []gaugeDef
+	counterFns []gaugeDef
+}
+
+type gaugeDef struct {
+	name, help string
+	labels     string // rendered label set, e.g. `{state="queued"}`; empty for none
+	fn         func() float64
+}
+
+// counterVec is a label -> counter map with a fixed label name, pre-seeded so
+// every expected series renders from the first scrape.
+type counterVec struct {
+	label string
+	mu    sync.Mutex
+	vals  map[string]*atomic.Int64
+}
+
+func (v *counterVec) init(label string, seed ...string) {
+	v.label = label
+	v.vals = make(map[string]*atomic.Int64)
+	for _, s := range seed {
+		v.vals[s] = new(atomic.Int64)
+	}
+}
+
+func (v *counterVec) add(key string, n int64) {
+	v.mu.Lock()
+	c, ok := v.vals[key]
+	if !ok {
+		c = new(atomic.Int64)
+		v.vals[key] = c
+	}
+	v.mu.Unlock()
+	c.Add(n)
+}
+
+func (v *counterVec) get(key string) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.vals[key]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+func (v *counterVec) snapshot() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.vals))
+	for k, c := range v.vals {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+// stageBuckets spans sub-millisecond generator times through minute-scale
+// n=1e6 verifications.
+var stageBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// histogram is a fixed-bucket cumulative histogram. sumBits carries the
+// float64 sum as atomic bits.
+type histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last bucket = +Inf
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		v = 0 // timings are wall-clock deltas; guard anyway so no NaN reaches the exposition
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (h *histogram) sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// histogramVec keys histograms by one label value, pre-seeded.
+type histogramVec struct {
+	label  string
+	bounds []float64
+	mu     sync.Mutex
+	vals   map[string]*histogram
+	order  []string
+}
+
+func newHistogramVec(label string, bounds []float64, seed ...string) *histogramVec {
+	v := &histogramVec{label: label, bounds: bounds, vals: make(map[string]*histogram)}
+	for _, s := range seed {
+		v.vals[s] = newHistogram(bounds)
+		v.order = append(v.order, s)
+	}
+	return v
+}
+
+func (v *histogramVec) observe(key string, x float64) {
+	v.mu.Lock()
+	h, ok := v.vals[key]
+	if !ok {
+		h = newHistogram(v.bounds)
+		v.vals[key] = h
+		v.order = append(v.order, key)
+	}
+	v.mu.Unlock()
+	h.observe(x)
+}
+
+func newMetrics() *metrics {
+	m := &metrics{
+		stageSeconds: newHistogramVec("stage", stageBuckets,
+			"gen", "mst", "build", "order", "color", "verify"),
+		jobSeconds: newHistogram(stageBuckets),
+	}
+	m.rejections.init("reason",
+		"queue_full", "rate_limited", "quota", "shed_large_job", "shutting_down")
+	m.specsCompleted.init("source", "computed", "cache", "journal")
+	return m
+}
+
+// registerGauge adds a scrape-time gauge. labels is a pre-rendered label set
+// (may be empty). Registration order is render order.
+func (m *metrics) registerGauge(name, labels, help string, fn func() float64) {
+	m.gaugeMu.Lock()
+	defer m.gaugeMu.Unlock()
+	m.gauges = append(m.gauges, gaugeDef{name: name, help: help, labels: labels, fn: fn})
+}
+
+// registerCounter adds a scrape-time callback rendered with TYPE counter —
+// for monotonic values whose atomics live outside metrics.
+func (m *metrics) registerCounter(name, labels, help string, fn func() float64) {
+	m.gaugeMu.Lock()
+	defer m.gaugeMu.Unlock()
+	m.counterFns = append(m.counterFns, gaugeDef{name: name, help: help, labels: labels, fn: fn})
+}
+
+// fnum renders a float without exponent surprises and never as NaN (a NaN
+// would poison every Prometheus consumer, and the CI scrape gate fails on
+// it).
+func fnum(v float64) string {
+	if math.IsNaN(v) {
+		return "0"
+	}
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// ServeHTTP renders the Prometheus text exposition.
+func (m *metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counterV := func(name, help, label string, vals map[string]int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", name, label, k, vals[k])
+		}
+	}
+
+	counter("aggrate_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", m.jobsSubmitted.Load())
+	counter("aggrate_jobs_resumed_total", "Jobs re-enqueued from the journal at startup.", m.jobsResumed.Load())
+	counterV("aggrate_admission_rejected_total", "Submissions rejected by admission control.",
+		m.rejections.label, m.rejections.snapshot())
+	counterV("aggrate_specs_completed_total", "Spec completions by result source.",
+		m.specsCompleted.label, m.specsCompleted.snapshot())
+
+	counter("aggrate_journal_appends_total", "Records appended to the job journal.", m.journalAppends.Load())
+	counter("aggrate_journal_bytes_total", "Bytes appended to the job journal.", m.journalBytes.Load())
+	counter("aggrate_journal_fsyncs_total", "Journal fsyncs (job boundaries and shutdown).", m.journalFsyncs.Load())
+	counter("aggrate_journal_errors_total", "Journal append/sync failures (service degrades to non-durable).", m.journalErrors.Load())
+	counter("aggrate_journal_replayed_jobs_total", "Live jobs recovered from the journal at startup.", m.journalReplayedJobs.Load())
+	counter("aggrate_journal_replayed_specs_total", "Completed specs recovered from the journal at startup.", m.journalReplayedSpecs.Load())
+	counter("aggrate_journal_compactions_total", "Journal compaction rewrites (startup and size-triggered).", m.journalCompactions.Load())
+
+	m.gaugeMu.Lock()
+	cdefs := append([]gaugeDef(nil), m.counterFns...)
+	m.gaugeMu.Unlock()
+	for _, d := range cdefs {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s%s %s\n", d.name, d.help, d.name, d.name, d.labels, fnum(d.fn()))
+	}
+
+	// Gauges, in registration order but grouped by name for valid exposition.
+	m.gaugeMu.Lock()
+	defs := append([]gaugeDef(nil), m.gauges...)
+	m.gaugeMu.Unlock()
+	byName := make(map[string][]gaugeDef)
+	var nameOrder []string
+	for _, d := range defs {
+		if _, ok := byName[d.name]; !ok {
+			nameOrder = append(nameOrder, d.name)
+		}
+		byName[d.name] = append(byName[d.name], d)
+	}
+	for _, name := range nameOrder {
+		group := byName[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, group[0].help, name)
+		for _, d := range group {
+			fmt.Fprintf(w, "%s%s %s\n", d.name, d.labels, fnum(d.fn()))
+		}
+	}
+
+	// Histograms.
+	writeHist := func(name string, labels string, h *histogram) {
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			sep := "{"
+			if labels != "" {
+				sep = "{" + labels + ","
+			}
+			fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", name, sep, fnum(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		sep := "{"
+		if labels != "" {
+			sep = "{" + labels + ","
+		}
+		fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", name, sep, cum)
+		if labels != "" {
+			fmt.Fprintf(w, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, labels, fnum(h.sum()), name, labels, h.count.Load())
+		} else {
+			fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, fnum(h.sum()), name, h.count.Load())
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP aggrate_stage_seconds Per-stage pipeline latency of computed specs.\n# TYPE aggrate_stage_seconds histogram\n")
+	m.stageSeconds.mu.Lock()
+	stageOrder := append([]string(nil), m.stageSeconds.order...)
+	stageVals := make(map[string]*histogram, len(m.stageSeconds.vals))
+	for k, h := range m.stageSeconds.vals {
+		stageVals[k] = h
+	}
+	m.stageSeconds.mu.Unlock()
+	for _, k := range stageOrder {
+		writeHist("aggrate_stage_seconds", fmt.Sprintf("%s=%q", m.stageSeconds.label, k), stageVals[k])
+	}
+
+	fmt.Fprintf(w, "# HELP aggrate_job_seconds End-to-end job duration, submit to terminal state.\n# TYPE aggrate_job_seconds histogram\n")
+	writeHist("aggrate_job_seconds", "", m.jobSeconds)
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// requiredSeries is the metrics contract: CI's scrape gate and dashboards
+// key on these names existing from the first scrape.
+var requiredSeries = []string{
+	"aggrate_jobs_submitted_total",
+	"aggrate_jobs_resumed_total",
+	"aggrate_admission_rejected_total",
+	"aggrate_specs_completed_total",
+	"aggrate_journal_appends_total",
+	"aggrate_journal_bytes_total",
+	"aggrate_journal_fsyncs_total",
+	"aggrate_journal_errors_total",
+	"aggrate_journal_replayed_jobs_total",
+	"aggrate_journal_replayed_specs_total",
+	"aggrate_journal_compactions_total",
+	"aggrate_cache_hits_total",
+	"aggrate_cache_misses_total",
+	"aggrate_cache_evictions_total",
+	"aggrate_queue_depth",
+	"aggrate_queue_capacity",
+	"aggrate_active_workers",
+	"aggrate_jobs",
+	"aggrate_cache_entries",
+	"aggrate_cache_bytes",
+	"aggrate_cache_capacity_bytes",
+	"aggrate_stage_seconds",
+	"aggrate_job_seconds",
+}
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// checkExposition validates every sample line: "name{labels} value" with a
+// parseable, non-NaN value.
+func checkExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name, val := line[:i], line[i+1:]
+		if val == "NaN" || val == "-Inf" {
+			t.Fatalf("series %s exposes %s", name, val)
+		}
+		if val == "+Inf" {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("series %s has unparseable value %q", name, val)
+		}
+		samples[name] = f
+	}
+	return samples
+}
+
+// TestMetricsExposition: every contract series renders from the very first
+// scrape (zeros included), values stay parseable, and the counters move as
+// jobs run — computed specs, cache hits on resubmission, stage histograms.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Cold scrape: all series present before any job.
+	text := scrape(t, ts.URL)
+	for _, name := range requiredSeries {
+		if !strings.Contains(text, "\n"+name) && !strings.HasPrefix(text, name) {
+			t.Fatalf("cold /metrics missing series %s:\n%s", name, text)
+		}
+	}
+	cold := checkExposition(t, text)
+	if cold["aggrate_queue_capacity"] != 64 {
+		t.Fatalf("queue capacity gauge %v, want 64", cold["aggrate_queue_capacity"])
+	}
+
+	// One computed run, one fully-cached rerun.
+	st, code := postJob(t, ts, smallGrid)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitStatus(t, ts, st.ID, StatusDone, 30*time.Second)
+	st2, _ := postJob(t, ts, smallGrid)
+	waitStatus(t, ts, st2.ID, StatusDone, 30*time.Second)
+
+	samples := checkExposition(t, scrape(t, ts.URL))
+	checks := map[string]float64{
+		"aggrate_jobs_submitted_total":                     2,
+		`aggrate_specs_completed_total{source="computed"}`: 4,
+		`aggrate_specs_completed_total{source="cache"}`:    4,
+		`aggrate_jobs{state="done"}`:                       2,
+		"aggrate_cache_hits_total":                         4,
+		"aggrate_job_seconds_count":                        2,
+	}
+	for name, want := range checks {
+		if got := samples[name]; got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// Stage histograms observed once per computed spec.
+	for _, stage := range []string{"gen", "mst", "build", "order", "color", "verify"} {
+		name := `aggrate_stage_seconds_count{stage="` + stage + `"}`
+		if samples[name] != 4 {
+			t.Fatalf("%s = %v, want 4", name, samples[name])
+		}
+	}
+	if samples["aggrate_cache_entries"] != 4 || samples["aggrate_cache_bytes"] <= 0 {
+		t.Fatalf("cache gauges: entries=%v bytes=%v",
+			samples["aggrate_cache_entries"], samples["aggrate_cache_bytes"])
+	}
+}
+
+// TestHistogramBuckets: cumulative bucket counts are monotone and _count
+// equals the +Inf bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50, 0.05} {
+		h.observe(v)
+	}
+	cum := int64(0)
+	wantCum := []int64{2, 3, 4}
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum != wantCum[i] {
+			t.Fatalf("bucket %d cumulative %d, want %d", i, cum, wantCum[i])
+		}
+	}
+	if total := cum + h.counts[len(h.bounds)].Load(); total != h.count.Load() || total != 5 {
+		t.Fatalf("count %d, +Inf cumulative %d, want 5", h.count.Load(), total)
+	}
+	if h.sum() < 55.59 || h.sum() > 55.61 {
+		t.Fatalf("sum %v, want 55.6", h.sum())
+	}
+	// NaN and negatives are clamped, never exposed.
+	h.observe(-3)
+	if h.counts[0].Load() != 3 {
+		t.Fatalf("negative observation not clamped into first bucket")
+	}
+}

@@ -1,0 +1,271 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recoveryGrid is slow enough (2000-node instances, one worker) that a
+// crash after two completions reliably lands mid-grid, and small enough to
+// finish in test time.
+const recoveryGrid = `{"scenarios":["uniform"],"ns":[2000],"seeds":6,"seed":41,"algos":["greedy"]}`
+
+// stripTimings removes the wall-clock fields from a result for parity
+// comparison: two runs of the same spec agree on every metric, never on
+// machine timing.
+func stripTimings(t *testing.T, it StreamItem) string {
+	t.Helper()
+	b, err := json.Marshal(it.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "timings")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// resultsByIndex maps a terminal job's results by grid position.
+func resultsByIndex(st JobStatus) map[int]StreamItem {
+	out := make(map[int]StreamItem, len(st.Results))
+	for _, it := range st.Results {
+		out[it.Index] = it
+	}
+	return out
+}
+
+// TestCrashRecoveryParity is the durability proof: kill the server mid-grid
+// (no flush, no fsync — what SIGKILL leaves), restart on the same journal,
+// and the job resumes from its completed prefix, serves those specs from
+// the journal without recompute, finishes, and matches an uninterrupted run
+// result for result.
+func TestCrashRecoveryParity(t *testing.T) {
+	jp := filepath.Join(t.TempDir(), "journal.ndjson")
+
+	// First life: submit, let a partial prefix complete, crash. The journal
+	// stall puts a deterministic 25ms floor under every spec so the kill
+	// window survives a loaded CI box (and exercises the slow-disk fault).
+	s1, err := New(Config{Workers: 1, JournalPath: jp,
+		Faults: Faults{JournalStall: 25 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	st, code := postJob(t, ts1, recoveryGrid)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	// Crash the instant progress is visible — the remaining five specs (tens
+	// of milliseconds each) leave the job reliably mid-flight. Crash before
+	// closing the test listener: Close waits for idle connections, and that
+	// wait is time the job would use to finish.
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts1, st.ID).Completed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no progress before crash")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s1.Crash()
+	ts1.Close()
+
+	// Second life: same journal. The job must come back resumed and finish.
+	s2, err := New(Config{Workers: 1, JournalPath: jp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	fin := waitStatus(t, ts2, st.ID, StatusDone, 60*time.Second)
+	if !fin.Resumed {
+		t.Fatalf("recovered job not marked resumed: %+v", fin)
+	}
+	if fin.Completed != fin.Total || fin.Total != 6 {
+		t.Fatalf("recovered job finished %d/%d", fin.Completed, fin.Total)
+	}
+	if fin.Replayed < 1 {
+		t.Fatalf("journal_replayed=%d, want >= 1 (the pre-crash prefix)", fin.Replayed)
+	}
+	replayedIdx := map[int]bool{}
+	for _, it := range fin.Results {
+		switch it.Source {
+		case SourceJournal:
+			replayedIdx[it.Index] = true
+		case SourceComputed, SourceCache:
+		default:
+			t.Fatalf("result %d has source %q", it.Index, it.Source)
+		}
+	}
+	if len(replayedIdx) != fin.Replayed {
+		t.Fatalf("%d journal-sourced results, status says %d", len(replayedIdx), fin.Replayed)
+	}
+
+	// The no-recompute claim, asserted via metrics: the journal-sourced specs
+	// are counted under source="journal", and the computed count is exactly
+	// the remainder.
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metricsText := string(body)
+	for _, want := range []string{
+		`aggrate_specs_completed_total{source="journal"}`,
+		"aggrate_journal_replayed_jobs_total 1",
+		"aggrate_jobs_resumed_total 1",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metricsText)
+		}
+	}
+	if got := s2.metrics.specsCompleted.get(SourceJournal); int(got) != fin.Replayed {
+		t.Fatalf("specs_completed{journal}=%d, want %d", got, fin.Replayed)
+	}
+	if got := s2.metrics.specsCompleted.get(SourceComputed); int(got) != fin.Total-fin.Replayed {
+		t.Fatalf("specs_completed{computed}=%d, want %d (no recompute of the prefix)",
+			got, fin.Total-fin.Replayed)
+	}
+
+	// Parity: an uninterrupted run of the same grid on a fresh server agrees
+	// on every spec key and every metric (timings excepted).
+	s3, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(s3.Handler())
+	st3, code := postJob(t, ts3, recoveryGrid)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh submit status %d", code)
+	}
+	ref := waitStatus(t, ts3, st3.ID, StatusDone, 60*time.Second)
+	got, want := resultsByIndex(fin), resultsByIndex(ref)
+	for i := 0; i < fin.Total; i++ {
+		if got[i].SpecKey != want[i].SpecKey {
+			t.Fatalf("spec key diverged at %d: %s vs %s", i, got[i].SpecKey, want[i].SpecKey)
+		}
+		if g, w := stripTimings(t, got[i]), stripTimings(t, want[i]); g != w {
+			t.Fatalf("result diverged at index %d:\nrecovered: %s\nfresh:     %s", i, g, w)
+		}
+	}
+	ts3.Close()
+	s3.Close()
+	ts2.Close()
+	s2.Close()
+}
+
+// TestGracefulShutdownInterrupts: Shutdown stops the running job at a spec
+// boundary, marks it interrupted, and a restart on the same journal resumes
+// and finishes it.
+func TestGracefulShutdownInterrupts(t *testing.T) {
+	jp := filepath.Join(t.TempDir(), "journal.ndjson")
+	s1, err := New(Config{Workers: 1, JournalPath: jp,
+		Faults: Faults{JournalStall: 25 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	// A dozen 2000-node instances on one worker, each with a 25ms journal
+	// stall: the drain always lands with most of the grid pending, and the
+	// resumed (stall-free) run still finishes quickly.
+	st, code := postJob(t, ts1, `{"scenarios":["uniform"],"ns":[2000],"seeds":12,"seed":43}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts1, st.ID).Completed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no progress before shutdown")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	start := time.Now()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	s1.Shutdown(shutdownCtx)
+	cancel()
+	if time.Since(start) > 20*time.Second {
+		t.Fatal("graceful drain blew its bound")
+	}
+	// The job went interrupted (not cancelled): its prefix is resumable.
+	fin := getStatus(t, ts1, st.ID)
+	if fin.Status != StatusInterrupted {
+		t.Fatalf("after Shutdown: status %q, want interrupted", fin.Status)
+	}
+	if fin.Completed == 0 || fin.Completed >= fin.Total {
+		t.Fatalf("interrupted at %d/%d, want a strict partial prefix", fin.Completed, fin.Total)
+	}
+	ts1.Close()
+
+	s2, err := New(Config{Workers: 1, JournalPath: jp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	fin2 := waitStatus(t, ts2, st.ID, StatusDone, 60*time.Second)
+	if fin2.Replayed < fin.Completed {
+		t.Fatalf("resume replayed %d specs, the first life completed %d", fin2.Replayed, fin.Completed)
+	}
+	ts2.Close()
+	s2.Close()
+}
+
+// TestJournalFaultDegradation: with every journal append failing, the
+// server still serves jobs — durability degrades, availability does not —
+// and the failure is visible in the error counter.
+func TestJournalFaultDegradation(t *testing.T) {
+	jp := filepath.Join(t.TempDir(), "journal.ndjson")
+	s, err := New(Config{Workers: 2, JournalPath: jp, Faults: Faults{JournalFailEvery: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+
+	st, code := postJob(t, ts, smallGrid)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	fin := waitStatus(t, ts, st.ID, StatusDone, 30*time.Second)
+	if fin.Completed != fin.Total {
+		t.Fatalf("job under journal faults: %d/%d", fin.Completed, fin.Total)
+	}
+	if s.metrics.journalErrors.Load() == 0 {
+		t.Fatal("injected journal failures left no trace in aggrate_journal_errors_total")
+	}
+}
+
+// TestKillAfterSpecsTrigger: the KillAfterSpecs fault fires crashFn at
+// exactly the configured completion count.
+func TestKillAfterSpecsTrigger(t *testing.T) {
+	fired := make(chan struct{})
+	old := crashFn
+	crashFn = func() { close(fired) }
+	defer func() { crashFn = old }()
+
+	s, err := New(Config{Workers: 1, Faults: Faults{KillAfterSpecs: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	if _, code := postJob(t, ts, smallGrid); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	select {
+	case <-fired:
+	case <-time.After(30 * time.Second):
+		t.Fatal("KillAfterSpecs never fired")
+	}
+}

@@ -2,26 +2,40 @@
 // API — the serving layer in front of the cancellable, streaming pipeline:
 //
 //	POST   /v1/jobs             submit a spec grid (validated up front)
-//	GET    /v1/jobs/{id}        job status, progress counts, completed results
-//	GET    /v1/jobs/{id}/stream NDJSON of results as they complete
+//	GET    /v1/jobs/{id}        job status, progress, events, completed results
+//	GET    /v1/jobs/{id}/stream NDJSON of events and results as they happen
 //	DELETE /v1/jobs/{id}        cancel via the engine's context plumbing
-//	GET    /v1/healthz          liveness + queue/cache gauges
+//	GET    /v1/healthz          liveness + queue/cache/journal gauges
+//	GET    /metrics             Prometheus text exposition (see metrics.go)
 //
-// Jobs enter a bounded queue (submission returns 503 when it is full) and
-// execute one at a time; within a job, instances fan out over an
-// experiment.Runner worker pool sized off experiment.Workers. Completed
-// results land in an LRU cache keyed by experiment.SpecKey — the canonical
-// hash of the normalized Spec — so a repeated spec (same scenario, n, seed,
-// power, algo, γ configuration, …) is served without recomputation, marked
-// cache_hit in every response that carries it.
+// Jobs enter a bounded priority queue and execute one at a time; within a
+// job, instances fan out over an experiment.Runner worker pool. Completed
+// results land in a byte-budgeted LRU cache keyed by experiment.SpecKey, so
+// a repeated spec is served without recomputation.
+//
+// Durability: with Config.JournalPath set, every accepted job, completed
+// spec, and terminal transition is appended to an NDJSON write-ahead log
+// (journal.go). A restarted server replays the journal, re-enqueues the
+// jobs that were queued or in flight, serves their already-completed specs
+// out of the journal (source "journal", no recompute), and runs only the
+// remainder — so a kill -9 mid-grid costs the specs in flight at the
+// moment of death, nothing more.
+//
+// Admission: per-client (X-API-Key) token-bucket rate limits and live-job
+// quotas, job priorities, and queue-pressure shedding of large grids. Every
+// rejection is a 429/503 with a machine-readable "code" and a Retry-After
+// derived from the limiter or the measured queue drain rate (admission.go).
 package service
 
 import (
+	"container/heap"
 	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggrate/internal/experiment"
@@ -37,6 +51,17 @@ const (
 	StatusRunning   = "running"
 	StatusDone      = "done"
 	StatusCancelled = "cancelled"
+	// StatusInterrupted marks a job the server shut down under: its completed
+	// prefix is durable and a restart on the same journal resumes it from
+	// the last completed spec.
+	StatusInterrupted = "interrupted"
+)
+
+// Result sources carried in StreamItem.Source.
+const (
+	SourceComputed = "computed"
+	SourceCache    = "cache"
+	SourceJournal  = "journal"
 )
 
 // Config shapes a Server.
@@ -49,14 +74,36 @@ type Config struct {
 	QueueSize int
 	// CacheSize is the LRU result-cache capacity in specs. Default 4096.
 	CacheSize int
+	// CacheBytes is the LRU capacity in approximate encoded bytes; entries
+	// are evicted when either bound is exceeded. Default 256 MiB.
+	CacheBytes int64
 	// MaxSpecs bounds the grid size of a single job. Default 10000.
 	MaxSpecs int
 	// MaxJobs bounds the job records kept in memory: when a submission
-	// pushes the registry past it, the oldest *terminal* (done/cancelled)
-	// jobs — and their result payloads — are evicted. Live jobs are never
-	// evicted, so the registry can temporarily exceed the cap by the number
-	// of queued+running jobs. Default 1024.
+	// pushes the registry past it, the oldest *terminal* jobs — and their
+	// result payloads — are evicted. Live jobs are never evicted. Default
+	// 1024.
 	MaxJobs int
+	// JournalPath, when set, enables the durable job journal at this path.
+	JournalPath string
+	// JournalMaxBytes triggers a compaction rewrite once the journal grows
+	// past it (checked at job boundaries). Default 64 MiB.
+	JournalMaxBytes int64
+	// RateLimit, when positive, is the per-client token-bucket refill rate
+	// in submissions/second; RateBurst is the bucket depth (default
+	// max(1, ceil(RateLimit))). Exceeding it returns 429 + Retry-After.
+	RateLimit float64
+	RateBurst int
+	// MaxJobsPerClient, when positive, caps a client's live (queued or
+	// running) jobs; exceeding it returns 429 + Retry-After.
+	MaxJobsPerClient int
+	// ShedWatermark is the queue-depth fraction past which large grids are
+	// shed (503) while small ones are still admitted. Default 0.75.
+	ShedWatermark float64
+	// ShedMaxSpecs is the largest grid admitted while shedding. Default 64.
+	ShedMaxSpecs int
+	// Faults is the injectable fault layer; zero means no faults.
+	Faults Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -66,100 +113,376 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 4096
 	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
 	if c.MaxSpecs <= 0 {
 		c.MaxSpecs = 10000
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.JournalMaxBytes <= 0 {
+		c.JournalMaxBytes = 64 << 20
+	}
+	if c.ShedWatermark <= 0 || c.ShedWatermark > 1 {
+		c.ShedWatermark = 0.75
+	}
+	if c.ShedMaxSpecs <= 0 {
+		c.ShedMaxSpecs = 64
+	}
 	return c
 }
 
-// Server owns the job registry, the bounded queue, the executor goroutine,
-// and the result cache. Create with New, serve via Handler, stop with Close.
+// Server owns the job registry, the bounded priority queue, the executor
+// goroutine, the result cache, the journal, and the metrics. Create with
+// New, serve via Handler, stop with Shutdown (graceful) or Close (hard).
 type Server struct {
-	cfg   Config
-	cache *resultCache
+	cfg      Config
+	cache    *resultCache
+	metrics  *metrics
+	journal  *journal
+	limiter  *rateLimiter
+	drainEst *drainEstimator
+	faults   *faultState
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
-	queue   chan *job
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // job ids in creation order, for terminal-job eviction
-	seq    int
-	closed bool
+	activeWorkers atomic.Int64
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	pending      jobHeap
+	jobs         map[string]*job
+	order        []string // job ids in creation order, for terminal-job eviction
+	liveByClient map[string]int
+	seq          int
+	closed       bool
+	running      *job
 }
 
 // New starts a Server (and its executor goroutine) with the given config.
-func New(cfg Config) *Server {
+// With a JournalPath configured it first replays the journal: terminal jobs
+// seed the result cache, live ones are re-enqueued to resume. The only
+// error paths are journal open/replay failures.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheSize),
-		baseCtx: ctx,
-		cancel:  cancel,
-		queue:   make(chan *job, cfg.QueueSize),
-		jobs:    make(map[string]*job),
+		cfg:          cfg,
+		cache:        newResultCache(cfg.CacheSize, cfg.CacheBytes),
+		metrics:      newMetrics(),
+		limiter:      newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		drainEst:     &drainEstimator{},
+		faults:       &faultState{Faults: cfg.Faults},
+		baseCtx:      ctx,
+		cancel:       cancel,
+		jobs:         make(map[string]*job),
+		liveByClient: make(map[string]int),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	if cfg.JournalPath != "" {
+		jl, replayed, err := openJournal(cfg.JournalPath, s.faults, s.metrics)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = jl
+		s.resume(replayed)
+	}
+	s.registerGauges()
 	s.wg.Add(1)
 	go s.executor()
-	return s
+	return s, nil
 }
 
-// Close cancels every job, stops accepting submissions, and waits for the
-// executor to drain. Safe to call once.
+// resume seeds the cache from every replayed spec and re-enqueues the
+// non-terminal jobs, already-completed specs pre-populated from the journal.
+func (s *Server) resume(replayed []*replayedJob) {
+	for _, rj := range replayed {
+		if n := jobSeq(rj.id); n > s.seq {
+			s.seq = n
+		}
+		for _, sp := range rj.completed {
+			if sp.key != "" && sp.res != nil && sp.res.Err == "" {
+				s.cache.add(sp.key, sp.res)
+			}
+		}
+		if rj.terminal() {
+			continue
+		}
+		specs, err := rj.req.specs(s.cfg.MaxSpecs)
+		if err != nil {
+			// A journal from a stricter config (or a corrupted req): the job
+			// cannot be re-expanded. Count it and move on — the journal is a
+			// recovery aid, not a reason to refuse to start.
+			s.metrics.journalErrors.Add(1)
+			continue
+		}
+		keys := make([]string, len(specs))
+		for i, sp := range specs {
+			keys[i] = experiment.SpecKey(sp)
+		}
+		j := s.newJob(rj.id, rj.client, rj.priority, rj.created, rj.req, specs, keys)
+		j.resumed = true
+		j.addEventLocked("submitted", "")
+		j.addEventLocked("resumed", fmt.Sprintf("%d/%d specs from journal", len(rj.completed), len(specs)))
+		for i := range specs {
+			sp, ok := rj.completed[i]
+			if !ok {
+				continue
+			}
+			j.done[i] = true
+			j.replayed++
+			it := StreamItem{Index: i, SpecKey: keys[i], Source: SourceJournal, Result: sp.res}
+			j.items = append(j.items, it)
+			j.stream = append(j.stream, it)
+			s.metrics.journalReplayedSpecs.Add(1)
+			s.metrics.specsCompleted.add(SourceJournal, 1)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.liveByClient[j.client]++
+		heap.Push(&s.pending, j)
+		s.metrics.jobsResumed.Add(1)
+		s.metrics.journalReplayedJobs.Add(1)
+	}
+}
+
+// jobSeq parses the numeric suffix of a job id ("j000042" -> 42); 0 when
+// malformed.
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+func (s *Server) registerGauges() {
+	m := s.metrics
+	m.registerGauge("aggrate_queue_depth", "", "Jobs waiting in the bounded queue.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.pending))
+	})
+	m.registerGauge("aggrate_queue_capacity", "", "Bounded queue size.", func() float64 {
+		return float64(s.cfg.QueueSize)
+	})
+	m.registerGauge("aggrate_active_workers", "", "Engine workers currently executing specs.", func() float64 {
+		return float64(s.activeWorkers.Load())
+	})
+	for _, state := range []string{StatusQueued, StatusRunning, StatusDone, StatusCancelled, StatusInterrupted} {
+		state := state
+		m.registerGauge("aggrate_jobs", fmt.Sprintf("{state=%q}", state),
+			"Jobs in the registry by current state.", func() float64 {
+				s.mu.Lock()
+				ids := make([]*job, 0, len(s.jobs))
+				for _, j := range s.jobs {
+					ids = append(ids, j)
+				}
+				s.mu.Unlock()
+				n := 0
+				for _, j := range ids {
+					if j.curStatus() == state {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
+	m.registerGauge("aggrate_cache_entries", "", "Live result-cache entries.", func() float64 {
+		return float64(s.cache.len())
+	})
+	m.registerGauge("aggrate_cache_bytes", "", "Approximate encoded bytes held by the result cache.", func() float64 {
+		return float64(s.cache.sizeBytes())
+	})
+	m.registerGauge("aggrate_cache_capacity_bytes", "", "Result-cache byte budget.", func() float64 {
+		return float64(s.cfg.CacheBytes)
+	})
+	m.registerCounter("aggrate_cache_hits_total", "", "Result-cache hits.", func() float64 {
+		return float64(s.cache.hits.Load())
+	})
+	m.registerCounter("aggrate_cache_misses_total", "", "Result-cache misses.", func() float64 {
+		return float64(s.cache.misses.Load())
+	})
+	m.registerCounter("aggrate_cache_evictions_total", "", "Result-cache evictions.", func() float64 {
+		return float64(s.cache.evictions.Load())
+	})
+}
+
+// Close hard-stops the server: every live job is cancelled immediately,
+// marked interrupted in the journal, and the journal is fsynced and closed.
+// Safe to call more than once.
 func (s *Server) Close() {
+	s.stop(context.Background(), false)
+}
+
+// Shutdown drains gracefully: submissions stop, queued jobs are marked
+// interrupted, and the running job stops at its next spec boundary —
+// in-flight instances run to completion and their results are journaled.
+// ctx bounds the drain; on expiry the running job is hard-cancelled. Either
+// way the journal is flushed, fsynced, and closed before return.
+func (s *Server) Shutdown(ctx context.Context) {
+	s.stop(ctx, true)
+}
+
+func (s *Server) stop(ctx context.Context, graceful bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return
 	}
 	s.closed = true
+	var queued []*job
+	for len(s.pending) > 0 {
+		queued = append(queued, heap.Pop(&s.pending).(*job))
+	}
+	running := s.running
+	s.cond.Broadcast()
 	s.mu.Unlock()
+
+	for _, j := range queued {
+		j.interrupted.Store(true)
+		j.cancel()
+		s.finish(j, StatusInterrupted)
+	}
+	if running != nil {
+		running.interrupted.Store(true)
+		if graceful {
+			running.drainCancel()
+		} else {
+			running.cancel()
+		}
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel() // drain deadline expired: hard-cancel the straggler
+		<-done
+	}
 	s.cancel()
-	close(s.queue)
+	_ = s.journal.close()
+}
+
+// Crash simulates kill -9 for recovery drills and tests: the journal fd is
+// closed without flush or fsync and every goroutine is torn down with no
+// terminal journaling — exactly the state a killed process leaves behind.
+// The in-memory registry is NOT trustworthy afterwards; a new Server on the
+// same journal path is the way to observe the outcome.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.pending = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.journal.crash() // before cancel: post-crash appends must not land
+	s.cancel()
 	s.wg.Wait()
 }
 
 // job is one submitted grid and its execution state.
 type job struct {
-	id      string
-	specs   []experiment.Spec
-	keys    []string
-	created time.Time
-	ctx     context.Context
-	cancel  context.CancelFunc
+	id       string
+	client   string
+	priority int
+	seq      int
+	specs    []experiment.Spec
+	keys     []string
+	req      JobRequest
+	created  time.Time
+	resumed  bool
+
+	ctx         context.Context
+	cancel      context.CancelFunc
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	interrupted atomic.Bool
+	startedAt   time.Time
 
 	mu        sync.Mutex
 	status    string
 	items     []StreamItem // completion order
+	stream    []any        // merged StreamItem + JobEvent lines, stream order
+	done      map[int]bool // spec indices with a result
 	cacheHits int
+	replayed  int
+	events    []JobEvent
 	notify    chan struct{} // closed+replaced on every state change
+}
+
+// JobEvent is one entry of a job's lifecycle trace: submitted, resumed,
+// running, done, cancelled, interrupted. Events ride along in the status
+// payload and interleave with results on the NDJSON stream.
+type JobEvent struct {
+	Time   time.Time `json:"time"`
+	Event  string    `json:"event"`
+	Detail string    `json:"detail,omitempty"`
 }
 
 // StreamItem is one completed instance as it appears on the stream and in
 // the results array: the spec's position in the submitted grid, its cache
-// key, whether it was served from cache, and the metric record.
+// key, where the result came from (computed, cache, journal), and the
+// metric record. CacheHit is Source == "cache", kept for compatibility.
 type StreamItem struct {
 	Index    int                `json:"index"`
 	SpecKey  string             `json:"spec_key"`
 	CacheHit bool               `json:"cache_hit"`
+	Source   string             `json:"source,omitempty"`
 	Result   *experiment.Result `json:"result"`
 }
 
+func (s *Server) newJob(id, client string, priority int, created time.Time,
+	req JobRequest, specs []experiment.Spec, keys []string) *job {
+	j := &job{
+		id: id, client: client, priority: priority, seq: jobSeq(id),
+		specs: specs, keys: keys, req: req, created: created,
+		status: StatusQueued,
+		done:   make(map[int]bool),
+		notify: make(chan struct{}),
+	}
+	if req.TimeoutSec > 0 {
+		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, time.Duration(req.TimeoutSec*float64(time.Second)))
+	} else {
+		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+	}
+	j.drainCtx, j.drainCancel = context.WithCancel(context.Background())
+	return j
+}
+
 // complete records one finished instance and wakes the streamers.
-func (j *job) complete(i int, res *experiment.Result, hit bool) {
+func (j *job) complete(i int, res *experiment.Result, source string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.items = append(j.items, StreamItem{Index: i, SpecKey: j.keys[i], CacheHit: hit, Result: res})
-	if hit {
+	it := StreamItem{Index: i, SpecKey: j.keys[i], CacheHit: source == SourceCache, Source: source, Result: res}
+	j.items = append(j.items, it)
+	j.stream = append(j.stream, it)
+	j.done[i] = true
+	switch source {
+	case SourceCache:
 		j.cacheHits++
+	case SourceJournal:
+		j.replayed++
 	}
 	j.broadcast()
+}
+
+// addEventLocked appends a lifecycle event to the trace and the stream.
+// Callers hold j.mu (or own the job exclusively during construction).
+func (j *job) addEventLocked(event, detail string) {
+	ev := JobEvent{Time: time.Now().UTC(), Event: event, Detail: detail}
+	j.events = append(j.events, ev)
+	j.stream = append(j.stream, ev)
 }
 
 // broadcast wakes every waiter; callers hold j.mu.
@@ -168,31 +491,73 @@ func (j *job) broadcast() {
 	j.notify = make(chan struct{})
 }
 
+func statusTerminal(status string) bool {
+	return status == StatusDone || status == StatusCancelled || status == StatusInterrupted
+}
+
 // terminal reports whether the job reached a final state.
 func (j *job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status == StatusDone || j.status == StatusCancelled
+	return statusTerminal(j.status)
 }
 
-// snapshot returns the items at and past cursor, whether the job reached a
-// terminal state, and the channel that closes on the next change.
-func (j *job) snapshot(cursor int) ([]StreamItem, bool, <-chan struct{}) {
+func (j *job) curStatus() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	terminal := j.status == StatusDone || j.status == StatusCancelled
-	return j.items[cursor:], terminal, j.notify
+	return j.status
+}
+
+func (j *job) completedCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// snapshot returns the stream lines at and past cursor, whether the job
+// reached a terminal state, and the channel that closes on the next change.
+func (j *job) snapshot(cursor int) ([]any, bool, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stream[cursor:], statusTerminal(j.status), j.notify
+}
+
+// jobHeap orders pending jobs by priority (higher first), then submission
+// sequence (earlier first).
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(a, b int) bool {
+	if h[a].priority != h[b].priority {
+		return h[a].priority > h[b].priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h jobHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
 }
 
 // JobStatus is the GET /v1/jobs/{id} payload. Results are in completion
 // order; Index maps each back to its position in the submitted grid.
 type JobStatus struct {
-	ID        string       `json:"id"`
-	Status    string       `json:"status"`
-	Total     int          `json:"total"`
-	Completed int          `json:"completed"`
-	CacheHits int          `json:"cache_hits"`
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Total     int    `json:"total"`
+	Completed int    `json:"completed"`
+	CacheHits int    `json:"cache_hits"`
+	// Replayed counts specs served from the journal after a restart.
+	Replayed  int          `json:"journal_replayed,omitempty"`
+	Priority  int          `json:"priority,omitempty"`
+	Resumed   bool         `json:"resumed,omitempty"`
 	CreatedAt time.Time    `json:"created_at"`
+	Events    []JobEvent   `json:"events,omitempty"`
 	Results   []StreamItem `json:"results,omitempty"`
 }
 
@@ -205,7 +570,11 @@ func (j *job) statusPayload(withResults bool) JobStatus {
 		Total:     len(j.specs),
 		Completed: len(j.items),
 		CacheHits: j.cacheHits,
+		Replayed:  j.replayed,
+		Priority:  j.priority,
+		Resumed:   j.resumed,
 		CreatedAt: j.created,
+		Events:    append([]JobEvent(nil), j.events...),
 	}
 	if withResults {
 		st.Results = append([]StreamItem(nil), j.items...)
@@ -216,7 +585,8 @@ func (j *job) statusPayload(withResults bool) JobStatus {
 // JobRequest is the POST /v1/jobs payload: the same grid axes as the CLI's
 // run subcommand. Zero values take the CLI defaults (uniform scenario
 // excepted — Scenarios is required). Verify defaults to true; send false
-// explicitly to skip SINR verification.
+// explicitly to skip SINR verification. Priority orders the queue (higher
+// first, same-priority FIFO; clamped to [-100, 100]).
 type JobRequest struct {
 	Scenarios []string `json:"scenarios"`
 	Ns        []int    `json:"ns"`
@@ -232,6 +602,7 @@ type JobRequest struct {
 	Noise     float64  `json:"noise"`
 	Verify    *bool    `json:"verify"`
 	Engine    string   `json:"verify_engine"`
+	Priority  int      `json:"priority"`
 	// TimeoutSec, when positive, bounds the job's wall clock; on expiry the
 	// job cancels like DELETE and keeps its completed prefix.
 	TimeoutSec float64 `json:"timeout_sec"`
@@ -296,6 +667,9 @@ func (r *JobRequest) specs(maxSpecs int) ([]experiment.Spec, error) {
 	if engine != schedule.EngineFast && engine != schedule.EngineNaive {
 		return nil, fmt.Errorf("unknown verify_engine %q", engine)
 	}
+	if r.Priority < -100 || r.Priority > 100 {
+		return nil, fmt.Errorf("priority %d out of range [-100, 100]", r.Priority)
+	}
 	seeds := r.Seeds
 	if seeds < 1 {
 		seeds = 1
@@ -333,7 +707,7 @@ func (r *JobRequest) specs(maxSpecs int) ([]experiment.Spec, error) {
 	return experiment.Expand(scList, ns, seeds, powers, algos, base), nil
 }
 
-// Handler returns the /v1 route multiplexer.
+// Handler returns the route multiplexer: the /v1 API plus /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -341,6 +715,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.metrics)
 	return mux
 }
 
@@ -353,8 +728,33 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError emits the error body: a human-readable message plus the
+// machine-readable code (admission.go's Code* constants).
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  code,
+	})
+}
+
+// writeRetryError is writeError with a Retry-After header (whole seconds,
+// minimum 1 — the header's resolution).
+func writeRetryError(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	sec := int(retryAfter.Seconds() + 0.5)
+	if sec < 1 {
+		sec = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
+	writeError(w, status, code, format, args...)
+}
+
+// clientKey identifies the submitter for rate limits and quotas: the
+// X-API-Key header, or "anonymous".
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	return "anonymous"
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -362,56 +762,79 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	specs, err := req.specs(s.cfg.MaxSpecs)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid job: %v", err)
 		return
 	}
 	keys := make([]string, len(specs))
 	for i, sp := range specs {
 		keys[i] = experiment.SpecKey(sp)
 	}
+	client := clientKey(r)
+	if ok, retry := s.limiter.allow(client, time.Now()); !ok {
+		s.metrics.rejections.add("rate_limited", 1)
+		writeRetryError(w, http.StatusTooManyRequests, CodeRateLimited, retry,
+			"rate limit exceeded for client %q (%.3g jobs/sec)", client, s.cfg.RateLimit)
+		return
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.metrics.rejections.add("shutting_down", 1)
+		writeError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is shutting down")
+		return
+	}
+	depth := len(s.pending)
+	if s.cfg.MaxJobsPerClient > 0 && s.liveByClient[client] >= s.cfg.MaxJobsPerClient {
+		s.mu.Unlock()
+		s.metrics.rejections.add("quota", 1)
+		writeRetryError(w, http.StatusTooManyRequests, CodeQuota, s.drainEst.retryAfter(depth),
+			"client %q already has %d live jobs (limit %d)", client, s.cfg.MaxJobsPerClient, s.cfg.MaxJobsPerClient)
+		return
+	}
+	if depth >= s.cfg.QueueSize {
+		s.mu.Unlock()
+		s.metrics.rejections.add("queue_full", 1)
+		writeRetryError(w, http.StatusServiceUnavailable, CodeQueueFull, s.drainEst.retryAfter(depth),
+			"job queue full (%d queued)", depth)
+		return
+	}
+	if float64(depth) >= s.cfg.ShedWatermark*float64(s.cfg.QueueSize) && len(specs) > s.cfg.ShedMaxSpecs {
+		s.mu.Unlock()
+		s.metrics.rejections.add("shed_large_job", 1)
+		writeRetryError(w, http.StatusServiceUnavailable, CodeShedLargeJob, s.drainEst.retryAfter(depth),
+			"shedding large jobs under queue pressure (depth %d/%d): grid of %d specs exceeds the shed limit %d",
+			depth, s.cfg.QueueSize, len(specs), s.cfg.ShedMaxSpecs)
 		return
 	}
 	s.seq++
-	j := &job{
-		id:      fmt.Sprintf("j%06d", s.seq),
-		specs:   specs,
-		keys:    keys,
-		created: time.Now().UTC(),
-		status:  StatusQueued,
-		notify:  make(chan struct{}),
-	}
-	if req.TimeoutSec > 0 {
-		j.ctx, j.cancel = context.WithTimeout(s.baseCtx, time.Duration(req.TimeoutSec*float64(time.Second)))
-	} else {
-		j.ctx, j.cancel = context.WithCancel(s.baseCtx)
-	}
-	// Enqueue while still holding s.mu: Close sets closed and closes the
-	// queue under the same lock discipline, so a send can never race the
-	// close. The send is non-blocking, so holding the lock is cheap.
-	select {
-	case s.queue <- j:
-	default:
-		// Bounded queue full: reject rather than buffer unboundedly.
-		s.mu.Unlock()
-		j.cancel()
-		writeError(w, http.StatusServiceUnavailable, "job queue full (%d queued)", s.cfg.QueueSize)
-		return
-	}
+	j := s.newJob(fmt.Sprintf("j%06d", s.seq), client, req.Priority, time.Now().UTC(), req, specs, keys)
+	j.addEventLocked("submitted", "")
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.liveByClient[client]++
+	// Journal the acceptance (fsync: a job boundary) before the job becomes
+	// runnable — the executor must never journal a spec record the replay
+	// would drop for want of its job record. The fsync happens under s.mu;
+	// submissions are the slow path here by design.
+	reqCopy := req
+	if err := s.journal.appendSync(journalRecord{T: "job", Time: j.created, ID: j.id,
+		Client: client, Priority: j.priority, Req: &reqCopy}); err != nil {
+		// Journal failure degrades durability, not availability; the error
+		// counter and log line are the operator's signal.
+		fmt.Printf("aggrate service: journal: %v\n", err)
+	}
+	heap.Push(&s.pending, j)
 	s.pruneJobs()
+	s.cond.Signal()
 	s.mu.Unlock()
 
+	s.metrics.jobsSubmitted.Add(1)
 	writeJSON(w, http.StatusAccepted, j.statusPayload(false))
 }
 
@@ -442,7 +865,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job %q", r.PathValue("id"))
 	}
 	return j
 }
@@ -456,8 +879,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.statusPayload(withResults))
 }
 
-// handleStream writes one NDJSON StreamItem per completed instance as it
-// finishes, then a terminal line {"done":true,...}. A client disconnect
+// handleStream writes the job's NDJSON trace as it grows: one line per
+// lifecycle event ({"time":...,"event":...}) and one per completed instance
+// (StreamItem), then a terminal {"done":true,...} line. A client disconnect
 // stops the stream without affecting the job.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
@@ -470,13 +894,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	cursor := 0
 	for {
-		items, terminal, notify := j.snapshot(cursor)
-		for _, it := range items {
+		lines, terminal, notify := j.snapshot(cursor)
+		for _, it := range lines {
 			if err := enc.Encode(it); err != nil {
 				return
 			}
 		}
-		cursor += len(items)
+		cursor += len(lines)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -505,82 +929,191 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
-	j.mu.Lock()
 	// A queued job never reaches the executor's running transition, so its
 	// terminal state is set here; a running one transitions when the runner
 	// unwinds (within one chunk boundary of the cancel).
-	if j.status == StatusQueued {
-		j.status = StatusCancelled
-		j.broadcast()
+	if j.curStatus() == StatusQueued {
+		s.finish(j, StatusCancelled)
 	}
-	j.mu.Unlock()
 	writeJSON(w, http.StatusOK, j.statusPayload(false))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
+	depth := len(s.pending)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"jobs":          jobs,
-		"queue_depth":   len(s.queue),
+		"queue_depth":   depth,
 		"queue_size":    s.cfg.QueueSize,
 		"cache_entries": s.cache.len(),
+		"cache_bytes":   s.cache.sizeBytes(),
+		"journal":       s.cfg.JournalPath,
 		"workers":       experiment.Workers(s.cfg.Workers, 1<<30),
 	})
 }
 
-// executor drains the job queue, one job at a time: total engine
+// finish transitions j to a terminal status (first caller wins), records
+// the event, journals and fsyncs the transition, feeds the drain estimator,
+// and releases the client's quota slot.
+func (s *Server) finish(j *job, status string) {
+	j.mu.Lock()
+	if statusTerminal(j.status) {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.addEventLocked(status, "")
+	j.broadcast()
+	j.mu.Unlock()
+
+	_ = s.journal.appendSync(journalRecord{T: "status", Time: time.Now().UTC(), Job: j.id, Status: status})
+	if !j.startedAt.IsZero() {
+		s.drainEst.observe(time.Since(j.startedAt).Seconds())
+	}
+	s.metrics.jobSeconds.observe(time.Since(j.created).Seconds())
+	s.mu.Lock()
+	if s.liveByClient[j.client] > 1 {
+		s.liveByClient[j.client]--
+	} else {
+		delete(s.liveByClient, j.client)
+	}
+	s.mu.Unlock()
+}
+
+// executor drains the priority queue, one job at a time: total engine
 // parallelism stays bounded by the per-job worker pool regardless of how
 // many jobs are queued.
 func (s *Server) executor() {
 	defer s.wg.Done()
-	for j := range s.queue {
-		j.mu.Lock()
-		if j.status != StatusQueued { // cancelled while queued
-			j.mu.Unlock()
-			continue
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.closed {
+			s.cond.Wait()
 		}
-		j.status = StatusRunning
-		j.broadcast()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.pending).(*job)
+		s.running = j
+		s.mu.Unlock()
+
+		j.mu.Lock()
+		claimed := j.status == StatusQueued
+		if claimed {
+			j.status = StatusRunning
+			j.startedAt = time.Now()
+			j.addEventLocked("running", "")
+			j.broadcast()
+		}
 		j.mu.Unlock()
-		s.runJob(j)
+		if claimed {
+			s.runJob(j)
+		}
+
+		s.mu.Lock()
+		s.running = nil
+		s.mu.Unlock()
 	}
 }
 
-// runJob serves cache hits immediately, fans the misses out over the
-// engine's streaming Runner, and stores fresh successes back in the cache.
+// journalSpec appends one completed spec to the journal (flush, no fsync —
+// the job-boundary sync bounds the loss window).
+func (s *Server) journalSpec(j *job, i int, res *experiment.Result) {
+	_ = s.journal.append(journalRecord{T: "spec", Time: time.Now().UTC(),
+		Job: j.id, Index: i, Key: j.keys[i], Result: res})
+}
+
+// runJob serves journal-replayed specs as already done, cache hits
+// immediately, fans the misses out over the engine's streaming Runner, and
+// stores fresh successes back in the cache. Every completion is journaled;
+// the terminal transition is journaled with an fsync.
 func (s *Server) runJob(j *job) {
 	defer j.cancel() // release the timeout timer, if any
 	var missIdx []int
 	for i := range j.specs {
-		if res, ok := s.cache.get(j.keys[i]); ok {
-			j.complete(i, res, true)
-		} else {
-			missIdx = append(missIdx, i)
+		j.mu.Lock()
+		already := j.done[i]
+		j.mu.Unlock()
+		if already { // replayed from the journal at startup
+			continue
 		}
+		if res, ok := s.cache.get(j.keys[i]); ok {
+			j.complete(i, res, SourceCache)
+			s.metrics.specsCompleted.add(SourceCache, 1)
+			s.journalSpec(j, i, res)
+			continue
+		}
+		missIdx = append(missIdx, i)
 	}
-	if len(missIdx) > 0 && j.ctx.Err() == nil {
+	if len(missIdx) > 0 && j.ctx.Err() == nil && j.drainCtx.Err() == nil {
 		miss := make([]experiment.Spec, len(missIdx))
 		for k, i := range missIdx {
 			miss[k] = j.specs[i]
 		}
-		runner := experiment.Runner{Workers: s.cfg.Workers, Sink: func(k int, r *experiment.Result) {
+		s.activeWorkers.Store(int64(experiment.Workers(s.cfg.Workers, len(miss))))
+		runner := experiment.Runner{Workers: s.cfg.Workers, Drain: j.drainCtx, Sink: func(k int, r *experiment.Result) {
 			i := missIdx[k]
 			if r.Err == "" {
 				s.cache.add(j.keys[i], r)
 			}
-			j.complete(i, r, false)
+			j.complete(i, r, SourceComputed)
+			s.metrics.specsCompleted.add(SourceComputed, 1)
+			for _, st := range r.Timings.StageSeconds() {
+				s.metrics.stageSeconds.observe(st.Stage, st.Sec)
+			}
+			s.journalSpec(j, i, r)
+			s.faults.onSpecDone()
 		}}
 		_, _ = runner.Run(j.ctx, miss)
+		s.activeWorkers.Store(0)
 	}
-	j.mu.Lock()
-	if j.ctx.Err() != nil {
-		j.status = StatusCancelled
-	} else {
-		j.status = StatusDone
+	var status string
+	switch {
+	case j.completedCount() == len(j.specs):
+		status = StatusDone
+	case j.ctx.Err() != nil && !j.interrupted.Load():
+		status = StatusCancelled
+	default:
+		// The drain context stopped the runner at a spec boundary, or the
+		// shutdown path hard-cancelled us: either way the completed prefix is
+		// durable and a restart resumes from it.
+		status = StatusInterrupted
 	}
-	j.broadcast()
-	j.mu.Unlock()
+	s.finish(j, status)
+	_ = s.journal.maybeCompact(s.liveReplayState(), s.cfg.JournalMaxBytes)
+}
+
+// liveReplayState snapshots every non-terminal job in journal-replay form —
+// the input to a size-triggered compaction.
+func (s *Server) liveReplayState() []*replayedJob {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	byID := make(map[string]*job, len(s.jobs))
+	for id, j := range s.jobs {
+		byID[id] = j
+	}
+	s.mu.Unlock()
+	var out []*replayedJob
+	for _, id := range ids {
+		j := byID[id]
+		if j == nil || j.terminal() {
+			continue
+		}
+		rj := &replayedJob{
+			id: j.id, client: j.client, priority: j.priority,
+			created: j.created, req: j.req, status: StatusQueued,
+			completed: make(map[int]replayedSpec),
+		}
+		j.mu.Lock()
+		for _, it := range j.items {
+			rj.completed[it.Index] = replayedSpec{key: it.SpecKey, res: it.Result}
+		}
+		j.mu.Unlock()
+		out = append(out, rj)
+	}
+	return out
 }

@@ -19,7 +19,10 @@ import (
 // test.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -200,6 +203,9 @@ func TestJobLifecycleStreamAndCache(t *testing.T) {
 			final = probe
 			break
 		}
+		if _, isEvent := probe["event"]; isEvent {
+			continue // lifecycle trace lines interleave with results
+		}
 		var it StreamItem
 		if err := json.Unmarshal(line, &it); err != nil {
 			t.Fatal(err)
@@ -278,7 +284,10 @@ const bigGrid = `{"scenarios":["uniform"],"ns":[2000],"seeds":40,"seed":31}`
 // boundary, the completed prefix survives, and no goroutines leak.
 func TestCancelMidFlight(t *testing.T) {
 	before := runtime.NumGoroutine()
-	s := New(Config{Workers: 2})
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 
 	st, code := postJob(t, ts, bigGrid)
@@ -398,7 +407,7 @@ func TestJobTimeout(t *testing.T) {
 
 // TestCacheEviction: the LRU respects its capacity and evicts oldest-first.
 func TestCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	r := &experiment.Result{}
 	c.add("a", r)
 	c.add("b", r)
@@ -456,7 +465,10 @@ func TestJobRetention(t *testing.T) {
 
 // TestSubmitAfterClose: a closed server refuses new work cleanly.
 func TestSubmitAfterClose(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	s.Close()
