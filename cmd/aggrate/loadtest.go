@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -78,6 +79,27 @@ type LoadReport struct {
 	// Curve is the per-second completion timeline: throughput and cache-hit
 	// behavior over the run, not just the final averages.
 	Curve []CurvePoint `json:"curve"`
+
+	// Instance-cache telemetry, sampled from the server's /metrics once per
+	// second: the deployment-build (gen+EMST+lookahead) cache shared across
+	// jobs, as opposed to the per-spec result cache above. Totals are deltas
+	// over the run (the counters are cumulative since server start), and the
+	// curve shows how the hit rate climbs as the seed pool gets covered.
+	InstanceCacheHits    int64            `json:"instance_cache_hits"`
+	InstanceCacheMisses  int64            `json:"instance_cache_misses"`
+	InstanceCacheHitRate float64          `json:"instance_cache_hit_rate"`
+	InstanceCacheCurve   []InstCachePoint `json:"instance_cache_curve,omitempty"`
+}
+
+// InstCachePoint is one /metrics sample of the instance cache: cumulative
+// hit/miss deltas since the run started, the interval's delta hit rate, and
+// the entry gauge at sample time.
+type InstCachePoint struct {
+	T       int     `json:"t"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	Entries int     `json:"entries"`
 }
 
 // CurvePoint is one second of the timeline.
@@ -122,6 +144,9 @@ func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
 	httpc := &http.Client{Timeout: 30 * time.Second}
 	start := time.Now()
 	deadline := start.Add(*duration)
+	stopSampler := make(chan struct{})
+	samples := make(chan []InstCachePoint, 1)
+	go ltSampleInstanceCache(httpc, base, start, stopSampler, samples)
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
@@ -132,9 +157,11 @@ func cmdLoadtest(args []string, stdout, stderr io.Writer) error {
 		}(c)
 	}
 	wg.Wait()
+	close(stopSampler)
 	elapsed := time.Since(start).Seconds()
 
 	rep := buildReport(base, st, start, elapsed, *clients, *seed)
+	attachInstanceCacheCurve(rep, <-samples)
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -333,4 +360,106 @@ func buildReport(addr string, st *ltStats, start time.Time, elapsed float64, cli
 		rep.Curve = append(rep.Curve, *cp)
 	}
 	return rep
+}
+
+// ltScrapeInstanceCache reads the instance-cache counters and entry gauge
+// from one /metrics scrape. A failed scrape or a server without the series
+// (pre-instance-cache build, --instance-cache -1) reports ok=false.
+func ltScrapeInstanceCache(httpc *http.Client, base string) (hits, misses int64, entries int, ok bool) {
+	resp, err := httpc.Get(base + "/metrics")
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, 0, false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		name, val, found := strings.Cut(line, " ")
+		if !found {
+			continue
+		}
+		switch name {
+		case "aggrate_instance_cache_hits_total":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				hits, ok = v, true
+			}
+		case "aggrate_instance_cache_misses_total":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				misses, ok = v, true
+			}
+		case "aggrate_instance_cache_entries":
+			if v, err := strconv.Atoi(val); err == nil {
+				entries = v
+			}
+		}
+	}
+	return hits, misses, entries, ok
+}
+
+// ltSampleInstanceCache polls /metrics once per second until stop closes,
+// recording instance-cache counter deltas relative to the first scrape (the
+// counters are cumulative since server start, and the server may be warm).
+// The collected samples are delivered on out exactly once.
+func ltSampleInstanceCache(httpc *http.Client, base string, start time.Time, stop <-chan struct{}, out chan<- []InstCachePoint) {
+	var pts []InstCachePoint
+	var baseHits, baseMisses int64
+	baselined := false
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	sample := func() {
+		hits, misses, entries, ok := ltScrapeInstanceCache(httpc, base)
+		if !ok {
+			return
+		}
+		if !baselined {
+			baseHits, baseMisses, baselined = hits, misses, true
+		}
+		pts = append(pts, InstCachePoint{
+			T:       int(time.Since(start).Seconds()),
+			Hits:    hits - baseHits,
+			Misses:  misses - baseMisses,
+			Entries: entries,
+		})
+	}
+	sample() // t=0 baseline
+	for {
+		select {
+		case <-stop:
+			sample() // final totals
+			out <- pts
+			return
+		case <-tick.C:
+			sample()
+		}
+	}
+}
+
+// attachInstanceCacheCurve folds the sampler's points into the report:
+// per-interval delta hit rates on the curve, run totals from the last
+// sample. No samples (scrape failures, cache disabled) leaves the fields
+// zero and the curve absent.
+func attachInstanceCacheCurve(rep *LoadReport, pts []InstCachePoint) {
+	if len(pts) == 0 {
+		return
+	}
+	for i := range pts {
+		dh, dm := pts[i].Hits, pts[i].Misses
+		if i > 0 {
+			dh -= pts[i-1].Hits
+			dm -= pts[i-1].Misses
+		}
+		if dh+dm > 0 {
+			pts[i].HitRate = float64(dh) / float64(dh+dm)
+		}
+	}
+	last := pts[len(pts)-1]
+	rep.InstanceCacheHits = last.Hits
+	rep.InstanceCacheMisses = last.Misses
+	if total := last.Hits + last.Misses; total > 0 {
+		rep.InstanceCacheHitRate = float64(last.Hits) / float64(total)
+	}
+	rep.InstanceCacheCurve = pts
 }

@@ -215,11 +215,11 @@ func validateChoices(flagName string, given, valid []string) error {
 // resolve validates them and materializes the scenario list, size list, and
 // base Spec.
 type specFlags struct {
-	scenarios, ns, graph, engine     *string
-	seeds, workers, lookDepth        *int
-	seed                             *uint64
-	gamma, delta, alpha, beta, noise *float64
-	verify, incr, noLookahead        *bool
+	scenarios, ns, graph, engine           *string
+	seeds, workers, lookDepth              *int
+	seed                                   *uint64
+	gamma, delta, alpha, beta, noise       *float64
+	verify, incr, noLookahead, noInstCache *bool
 }
 
 func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlags {
@@ -240,7 +240,9 @@ func addSpecFlags(fs *flag.FlagSet, defaultN string, defaultSeeds int) *specFlag
 		noLookahead: fs.Bool("no-lookahead", false,
 			"build each γ escalation's conflict graph from scratch instead of filtering one strength-annotated lookahead build (identical results, more work)"),
 		lookDepth: fs.Int("lookahead-depth", 1, "γ-escalation steps the lookahead build covers ahead of the current γ"),
-		workers:   fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)"),
+		noInstCache: fs.Bool("no-instance-cache", false,
+			"rebuild nodes+EMST+lookahead per spec instead of sharing one deployment build across specs that differ only in scheduling knobs (identical results, more work)"),
+		workers: fs.Int("workers", 0, "parallel instances (0 = GOMAXPROCS)"),
 	}
 }
 
@@ -270,6 +272,7 @@ func (sf *specFlags) resolve() ([]experiment.Scenario, []int, experiment.Spec, e
 		VerifyEngine:        *sf.engine,
 		NoIncrementalVerify: !*sf.incr,
 		NoLookahead:         *sf.noLookahead,
+		NoInstanceCache:     *sf.noInstCache,
 		GammaLookahead:      *sf.lookDepth,
 	}
 	return scList, nList, base, nil
@@ -653,6 +656,12 @@ type AlgoBench struct {
 	VerifyWarmSec     float64 `json:"verify_warm_sec,omitempty"`
 	VerifyReusedSlots int     `json:"verify_reused_slots,omitempty"`
 	VerifySlots       int     `json:"verify_slots,omitempty"`
+	// VerifyGridWarmSec times a re-verify with the cached margins dropped but
+	// the built slot structures retained: every margin is recomputed, with
+	// buildGrid answered from the cache on VerifyGridReused slots. This is
+	// the path an escalation retry with changed powers takes per slot.
+	VerifyGridWarmSec float64 `json:"verify_grid_warm_sec,omitempty"`
+	VerifyGridReused  int     `json:"verify_grid_reused,omitempty"`
 	// VerifyRefinedCells counts far-field cells the engine re-aggregated at
 	// tightened openings (adaptive-refinement tier) during the cold re-verify.
 	VerifyRefinedCells int64   `json:"verify_refined_cells,omitempty"`
@@ -682,9 +691,14 @@ type BenchEntry struct {
 }
 
 // BenchRun is one full sweep of the sizes at a fixed GOMAXPROCS.
+// KernelNsPerPair is a once-per-run micro-measurement of the symmetric
+// near-field kernel (ns per pairwise interference term on a fixed synthetic
+// slot); the regression gate compares it against the checked-in baseline so
+// a de-optimized inner loop is caught even when slot structures hide it.
 type BenchRun struct {
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Entries    []BenchEntry `json:"entries"`
+	GoMaxProcs      int          `json:"gomaxprocs"`
+	KernelNsPerPair float64      `json:"kernel_ns_per_pair,omitempty"`
+	Entries         []BenchEntry `json:"entries"`
 }
 
 // BenchReport is the schema of BENCH_pipeline.json: one run per requested
@@ -786,7 +800,8 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 		defer runtime.GOMAXPROCS(prev)
 	}
 	run := BenchRun{GoMaxProcs: runtime.GOMAXPROCS(0)}
-	fmt.Fprintf(stderr, "aggrate bench: gomaxprocs=%d\n", run.GoMaxProcs)
+	run.KernelNsPerPair = sinr.MeasureKernelNsPerPair(sinr.Params{Alpha: 3, Beta: 2, Epsilon: 0.5}, 4096, 3)
+	fmt.Fprintf(stderr, "aggrate bench: gomaxprocs=%d kernel=%.3gns/pair\n", run.GoMaxProcs, run.KernelNsPerPair)
 	for _, n := range nList {
 		if err := ctx.Err(); err != nil {
 			return run, err
@@ -881,6 +896,19 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 				}
 				ab.VerifyReusedSlots = wst.ReusedSlots
 				ab.VerifySlots = wst.Slots
+				// Grid-warm pass: drop the margins, keep the built slot
+				// structures — measures the structure-reuse tier the retries
+				// with changed powers hit.
+				t0 = time.Now()
+				gm, gst, gerr := inst.ReverifyGridWarm()
+				ab.VerifyGridWarmSec = time.Since(t0).Seconds()
+				if gerr != nil {
+					return run, fmt.Errorf("bench grid-warm re-verify algo=%s n=%d: %w", algo, n, gerr)
+				}
+				if !marginsClose(margin, gm) {
+					return run, fmt.Errorf("bench grid-warm re-verify algo=%s n=%d: margin %g != cold %g", algo, n, gm, margin)
+				}
+				ab.VerifyGridReused = gst.ReusedGrids
 			}
 			if engine == schedule.EngineFast && n <= naiveMax {
 				t0 = time.Now()
@@ -927,6 +955,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	queueSize := fs.Int("queue", 64, "bounded job-queue length (submissions beyond it get 503)")
 	maxSpecs := fs.Int("max-specs", 10000, "largest grid a single job may expand to")
 	maxJobs := fs.Int("max-jobs", 1024, "job records retained; oldest finished jobs are evicted past this")
+	instCache := fs.Int("instance-cache", 0, "LRU deployment-build cache entries shared across jobs (0 = default, negative disables)")
 	journalPath := fs.String("journal", "", "job journal path; empty disables durability")
 	journalMax := fs.Int64("journal-max-bytes", 64<<20, "compact the journal once it grows past this many bytes")
 	rateLimit := fs.Float64("rate-limit", 0, "per-client submissions/sec (token bucket); 0 disables")
@@ -947,20 +976,21 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "aggrate: FAULT INJECTION ARMED: %+v\n", faults)
 	}
 	svc, err := service.New(service.Config{
-		Workers:          *workers,
-		QueueSize:        *queueSize,
-		CacheSize:        *cacheSize,
-		CacheBytes:       *cacheBytes,
-		MaxSpecs:         *maxSpecs,
-		MaxJobs:          *maxJobs,
-		JournalPath:      *journalPath,
-		JournalMaxBytes:  *journalMax,
-		RateLimit:        *rateLimit,
-		RateBurst:        *rateBurst,
-		MaxJobsPerClient: *maxPerClient,
-		ShedWatermark:    *shedWatermark,
-		ShedMaxSpecs:     *shedMaxSpecs,
-		Faults:           faults,
+		Workers:           *workers,
+		QueueSize:         *queueSize,
+		CacheSize:         *cacheSize,
+		CacheBytes:        *cacheBytes,
+		MaxSpecs:          *maxSpecs,
+		MaxJobs:           *maxJobs,
+		InstanceCacheSize: *instCache,
+		JournalPath:       *journalPath,
+		JournalMaxBytes:   *journalMax,
+		RateLimit:         *rateLimit,
+		RateBurst:         *rateBurst,
+		MaxJobsPerClient:  *maxPerClient,
+		ShedWatermark:     *shedWatermark,
+		ShedMaxSpecs:      *shedMaxSpecs,
+		Faults:            faults,
 	})
 	if err != nil {
 		return err

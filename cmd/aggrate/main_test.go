@@ -34,9 +34,14 @@ var timingKeys = map[string]bool{
 	"build_filter_sec": true,
 	"order_sec":        true, "color_sec": true, "refine_sec": true,
 	"verify_sec": true, "verify_warm_sec": true,
+	"verify_grid_warm_sec": true, "kernel_ns_per_pair": true,
 	"power_solve_sec": true, "verify_naive_sec": true, "verify_speedup": true,
 	"total_sec": true, "mean_total_sec": true, "pipeline_sec": true,
 	"naive_sec": true, "speedup": true, "gomaxprocs": true,
+	// Not a timing, but scheduling-dependent all the same: which spec of a
+	// same-deployment group pays the build (and which reuse it) depends on
+	// worker interleaving, so the flag is scrubbed like a wall-clock field.
+	"deploy_reused": true,
 }
 
 // normalizeJSON parses arbitrary JSON and zeroes every timing-dependent

@@ -15,6 +15,7 @@ package coloring
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 	"sync/atomic"
@@ -34,6 +35,10 @@ type Workspace struct {
 	order  []int   // vertex order buffer (LengthOrder / IndexOrder)
 	keys   []float64
 	sorter lengthSorter
+
+	// LengthOrder radix-sort state.
+	rk, rkTmp []uint64
+	orderTmp  []int
 
 	// DSATUR state.
 	sat     []int32
@@ -135,11 +140,21 @@ func (s *lengthSorter) Less(a, b int) bool {
 }
 func (s *lengthSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
 
+// lengthRadixMin is the vertex count from which LengthOrder switches to the
+// LSD radix sort; below it the comparison sort wins on constant factors and
+// avoids the three radix scratch buffers.
+const lengthRadixMin = 128
+
 // LengthOrder returns the vertex order GreedyByLength processes: links in
 // non-increasing length, ties by index. Lengths are computed once per
 // vertex into a reused key buffer (not once per comparison), and the
 // returned slice aliases the Workspace; callers must copy it to keep it
 // across calls.
+//
+// Above lengthRadixMin vertices the sort is a byte-wise LSD radix sort over
+// the order-reversed float bit patterns: each pass is stable and the input
+// is the identity order, so ties land index-ascending — the same total
+// order the comparison sort yields, in linear time.
 func (ws *Workspace) LengthOrder(g *conflict.Graph) []int {
 	n := g.N()
 	ws.order = grow(ws.order, n)
@@ -148,9 +163,67 @@ func (ws *Workspace) LengthOrder(g *conflict.Graph) []int {
 		ws.order[i] = i
 		ws.keys[i] = g.Links[i].Length()
 	}
-	ws.sorter.order, ws.sorter.keys = ws.order, ws.keys
-	sort.Sort(&ws.sorter)
+	if n < lengthRadixMin {
+		ws.sorter.order, ws.sorter.keys = ws.order, ws.keys
+		sort.Sort(&ws.sorter)
+		return ws.order
+	}
+	ws.radixSortByLength(n)
 	return ws.order
+}
+
+// radixSortByLength sorts ws.order[:n] by ws.keys non-increasing, ties by
+// index ascending, via a stable LSD radix sort on uint64 images of the
+// keys. The image of a float is monotone-increasing in its value (sign bit
+// flipped for positives, all bits for negatives), complemented so that
+// ascending radix order is descending key order. Passes whose byte is
+// constant across all keys are skipped — for geometric lengths the top
+// exponent bytes almost always are.
+func (ws *Workspace) radixSortByLength(n int) {
+	ws.rk = grow(ws.rk, n)
+	ws.rkTmp = grow(ws.rkTmp, n)
+	ws.orderTmp = grow(ws.orderTmp, n)
+	for i := 0; i < n; i++ {
+		b := math.Float64bits(ws.keys[ws.order[i]])
+		if b&(1<<63) != 0 {
+			b = ^b
+		} else {
+			b |= 1 << 63
+		}
+		ws.rk[i] = ^b
+	}
+	src, dst := ws.order[:n], ws.orderTmp[:n]
+	ksrc, kdst := ws.rk[:n], ws.rkTmp[:n]
+	var count [256]int
+	for shift := uint(0); shift < 64; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range ksrc {
+			count[(k>>shift)&0xff]++
+		}
+		if count[(ksrc[0]>>shift)&0xff] == n {
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			b := (ksrc[i] >> shift) & 0xff
+			pos := count[b]
+			count[b]++
+			dst[pos] = src[i]
+			kdst[pos] = ksrc[i]
+		}
+		src, dst = dst, src
+		ksrc, kdst = kdst, ksrc
+	}
+	if &src[0] != &ws.order[0] {
+		copy(ws.order[:n], src)
+	}
 }
 
 // ByLengthOrder is the allocating wrapper over (*Workspace).LengthOrder.

@@ -87,12 +87,17 @@ func LogThresholdFamily(alpha float64) Family {
 // preserves that), so it is false strictly below the returned value and
 // true from it upward.
 //
-// The boundary is located by binary search on the float64 bit pattern
-// (ordered like the values for non-negative floats), bracketed by the
-// algebraic estimate √d²/(l_min·h) when it is usable — which lands within a
-// few ulps of the boundary, so the search runs 2–4 predicate tests in
-// practice — and by [0, buildGamma] otherwise. buildGamma must satisfy the
-// predicate (the pair was accepted at the build γ).
+// The algebraic estimate √d²/(l_min·h) lands within a few ulps of the
+// boundary, so when it is usable the boundary is reached by a straight-line
+// walk over adjacent floats — 1–4 predicate tests, no bisection over the
+// full bit range. If the walk does not terminate within strengthWalkMax
+// steps (a degenerate estimate), or the estimate falls outside (0,
+// buildGamma), the boundary is located by binary search on the float64 bit
+// pattern (ordered like the values for non-negative floats) over [0,
+// buildGamma]. buildGamma must satisfy the predicate (the pair was accepted
+// at the build γ). Either search returns the same unique boundary float.
+const strengthWalkMax = 8
+
 func strengthOf(d2, lmin, h, buildGamma float64) float64 {
 	pred := func(q float64) bool {
 		t := lmin * (q * h)
@@ -103,10 +108,25 @@ func strengthOf(d2, lmin, h, buildGamma float64) float64 {
 	}
 	lo, hi := 0.0, buildGamma
 	if q := math.Sqrt(d2) / (lmin * h); q > lo && q < hi {
+		b := math.Float64bits(q)
 		if pred(q) {
 			hi = q
+			for step := 0; step < strengthWalkMax; step++ {
+				if !pred(math.Float64frombits(b - 1)) {
+					return math.Float64frombits(b)
+				}
+				b--
+			}
+			hi = math.Float64frombits(b)
 		} else {
 			lo = q
+			for step := 0; step < strengthWalkMax; step++ {
+				b++
+				if pred(math.Float64frombits(b)) {
+					return math.Float64frombits(b)
+				}
+			}
+			lo = math.Float64frombits(b)
 		}
 	}
 	lb, hb := math.Float64bits(lo), math.Float64bits(hi)

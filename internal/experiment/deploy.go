@@ -1,0 +1,277 @@
+// Stage-split instance cache: a Spec factors into a deployment prefix
+// (scenario, size, seed, sink — the fields that determine the pointset, the
+// aggregation tree, and hence every conflict build over its links) and a
+// scheduling tail (power, graph, algo, γ/δ, SINR, verify knobs). Specs that
+// share the prefix — a 4-algo compare grid, near-key service jobs differing
+// only in algo or power — share one generation, one EMST, and one
+// strength-annotated lookahead build per γ ceiling, instead of recomputing
+// the deployment per spec. Results are bit-identical to cold runs: the
+// cached artifacts are the exact objects a cold run would have built
+// (generation and EMST are deterministic in the prefix, and the shared
+// conflict.Lookahead serves bit-identical graphs by its own parity
+// contract), and every cached object is treated as immutable downstream.
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"aggrate/internal/conflict"
+	"aggrate/internal/geom"
+	"aggrate/internal/mst"
+)
+
+// DeployKey returns the deployment prefix of the spec's canonical form:
+// the fields that fully determine the generated pointset and its EMST
+// (scenario preset, size, seed, sink). Specs with equal DeployKeys run the
+// scheduling pipeline over the same deployment, which is what makes the
+// instance cache sound. It is also the exact prefix of the canonical string
+// SpecKey hashes.
+func DeployKey(s Spec) string {
+	n := s.normalized()
+	name := ""
+	if n.Scenario != nil {
+		name = n.Scenario.PresetName()
+	}
+	return fmt.Sprintf("%s|%d|%d|%d", name, n.N, n.Seed, n.Sink)
+}
+
+// deployEntry holds the deployment-determined artifacts of one DeployKey.
+// ready is closed when the builder finishes (err says how); after that the
+// artifact fields are immutable and safe to share across instances.
+type deployEntry struct {
+	ready chan struct{}
+	err   error
+
+	pts  []geom.Point
+	tree *mst.Tree
+
+	// las shares one conflict.Lookahead per γ ceiling across the specs of
+	// this deployment. A Lookahead is internally keyed by (family, link-set
+	// content) and safe for concurrent use, so specs with different graph
+	// kinds or deltas coexist in one; the ceiling must match exactly
+	// because the annotated build's strengths only cover γ ≤ ceiling.
+	laMu sync.Mutex
+	las  map[float64]*conflict.Lookahead
+
+	// LRU linkage (guarded by the owning cache's mutex).
+	key        string
+	prev, next *deployEntry
+}
+
+// lookaheadFor returns the entry's shared Lookahead armed at the given γ
+// ceiling, creating it on first request.
+func (e *deployEntry) lookaheadFor(top float64) *conflict.Lookahead {
+	e.laMu.Lock()
+	defer e.laMu.Unlock()
+	la := e.las[top]
+	if la == nil {
+		la = conflict.NewLookahead(top)
+		e.las[top] = la
+	}
+	return la
+}
+
+// DeployCache is an LRU cache of deployment artifacts keyed by DeployKey,
+// shared across the specs of a batch (and, in the serving layer, across
+// jobs). Concurrent requests for the same missing key collapse into one
+// build: the first caller generates the deployment while the rest wait on
+// it. Safe for concurrent use.
+type DeployCache struct {
+	mu         sync.Mutex
+	max        int
+	entries    map[string]*deployEntry
+	head, tail *deployEntry
+
+	hits, misses, evictions int64
+}
+
+// DefaultDeployCacheEntries is the entry budget NewDeployCache installs for
+// batch runners: deployments are large (points, tree, annotated conflict
+// builds), and a compare grid only ever needs the deployments of one
+// (scenario, n, seed) cell at a time per worker.
+const DefaultDeployCacheEntries = 4
+
+// NewDeployCache returns an empty cache holding at most maxEntries
+// deployments (≤ 0 means DefaultDeployCacheEntries).
+func NewDeployCache(maxEntries int) *DeployCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultDeployCacheEntries
+	}
+	return &DeployCache{max: maxEntries, entries: make(map[string]*deployEntry)}
+}
+
+// Len reports the number of cached deployments (including in-flight builds).
+func (dc *DeployCache) Len() int {
+	if dc == nil {
+		return 0
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return len(dc.entries)
+}
+
+// Stats reports the cache's lifetime hit/miss/eviction counters. A hit is a
+// request served by an existing entry (possibly waiting for its builder);
+// a miss is a request that had to build.
+func (dc *DeployCache) Stats() (hits, misses, evictions int64) {
+	if dc == nil {
+		return 0, 0, 0
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.hits, dc.misses, dc.evictions
+}
+
+// acquire returns the entry for key and whether the caller is its builder.
+// Builders must fill the entry and call finish exactly once; non-builders
+// wait on ready.
+func (dc *DeployCache) acquire(key string) (*deployEntry, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if e, ok := dc.entries[key]; ok {
+		dc.hits++
+		dc.moveFront(e)
+		return e, false
+	}
+	dc.misses++
+	e := &deployEntry{
+		ready: make(chan struct{}),
+		las:   make(map[float64]*conflict.Lookahead),
+		key:   key,
+	}
+	dc.entries[key] = e
+	dc.pushFront(e)
+	// Evict least-recently-used completed entries past the budget. In-flight
+	// builds are never evicted — their waiters hold the entry pointer.
+	for n := len(dc.entries); n > dc.max; n-- {
+		victim := dc.tail
+		for victim != nil && !victim.done() {
+			victim = victim.prev
+		}
+		if victim == nil || victim == e {
+			break
+		}
+		dc.unlink(victim)
+		delete(dc.entries, victim.key)
+		dc.evictions++
+	}
+	return e, true
+}
+
+// finish publishes the builder's outcome. A failed build is removed from
+// the cache so the next request retries instead of replaying the error.
+func (dc *DeployCache) finish(e *deployEntry, err error) {
+	e.err = err
+	close(e.ready)
+	if err != nil {
+		dc.mu.Lock()
+		if cur, ok := dc.entries[e.key]; ok && cur == e {
+			dc.unlink(e)
+			delete(dc.entries, e.key)
+		}
+		dc.mu.Unlock()
+	}
+}
+
+func (e *deployEntry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+func (dc *DeployCache) unlink(e *deployEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		dc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		dc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (dc *DeployCache) pushFront(e *deployEntry) {
+	e.prev, e.next = nil, dc.head
+	if dc.head != nil {
+		dc.head.prev = e
+	}
+	dc.head = e
+	if dc.tail == nil {
+		dc.tail = e
+	}
+}
+
+func (dc *DeployCache) moveFront(e *deployEntry) {
+	if dc.head == e {
+		return
+	}
+	dc.unlink(e)
+	dc.pushFront(e)
+}
+
+// deployFor resolves the deployment artifacts for spec through the cache:
+// a hit shares the cached pointset/tree (stamping Timings.DeployReused), a
+// miss builds them exactly as the cold path would, stamping the same stage
+// timings, and publishes the entry for the specs that follow. A waiter
+// whose builder failed (or whose wait was cut by ctx while the builder's
+// own context died) falls back to a cold build under its own context —
+// the cache can delay an instance but never fail one on another's behalf.
+func deployFor(ctx context.Context, spec Spec, dc *DeployCache, t *Timings) (*deployEntry, error) {
+	e, builder := dc.acquire(DeployKey(spec))
+	if builder {
+		err := buildDeploy(ctx, spec, e, t)
+		dc.finish(e, err)
+		return e, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-e.ready:
+	}
+	if e.err != nil {
+		// Builder failed under its own context; retry cold under ours.
+		cold := &deployEntry{
+			ready: make(chan struct{}),
+			las:   make(map[float64]*conflict.Lookahead),
+		}
+		if err := buildDeploy(ctx, spec, cold, t); err != nil {
+			return nil, err
+		}
+		close(cold.ready)
+		return cold, nil
+	}
+	t.DeployReused = true
+	return e, nil
+}
+
+// buildDeploy runs the deployment stages (generate, EMST) into e, stamping
+// the same per-stage timings the cold pipeline records.
+func buildDeploy(ctx context.Context, spec Spec, e *deployEntry, t *Timings) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	e.pts = spec.Scenario.Generate(spec.N, spec.Seed)
+	t.GenerateSec = time.Since(t0).Seconds()
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t0 = time.Now()
+	tree, err := mst.NewMSTTreeCtx(ctx, e.pts, spec.Sink)
+	if err != nil {
+		return fmt.Errorf("experiment: mst: %w", err)
+	}
+	e.tree = tree
+	t.MSTSec = time.Since(t0).Seconds()
+	return nil
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"aggrate/internal/scheduler"
+)
+
+// TestDeployCacheSharedBuild: a same-deployment strategy grid (one
+// scenario/n/seed, four algorithms) through a shared cache pays generation
+// and EMST exactly once, and every result is bit-identical to a cold,
+// cache-free run of the same spec.
+func TestDeployCacheSharedBuild(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	algos := []string{scheduler.Greedy, scheduler.LengthClass, scheduler.DSatur, scheduler.JP}
+	specs := Expand([]Scenario{sc}, []int{400}, 1, nil, algos, base)
+	if len(specs) != len(algos) {
+		t.Fatalf("grid expanded to %d specs, want %d", len(specs), len(algos))
+	}
+
+	dc := NewDeployCache(4)
+	out, err := (&Runner{Workers: 4, Deploy: dc}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("Runner.Run: %v", err)
+	}
+	hits, misses, evictions := dc.Stats()
+	if misses != 1 || hits != int64(len(specs)-1) || evictions != 0 {
+		t.Fatalf("cache stats hits=%d misses=%d evictions=%d, want %d/1/0",
+			hits, misses, evictions, len(specs)-1)
+	}
+	builders := 0
+	for i, res := range out {
+		if res.Err != "" {
+			t.Fatalf("spec %d failed: %s", i, res.Err)
+		}
+		if res.Timings.DeployReused {
+			if res.Timings.GenerateSec != 0 || res.Timings.MSTSec != 0 {
+				t.Fatalf("spec %d: reused deployment still reports gen=%g mst=%g",
+					i, res.Timings.GenerateSec, res.Timings.MSTSec)
+			}
+		} else {
+			builders++
+		}
+	}
+	if builders != 1 {
+		t.Fatalf("%d specs built the deployment, want exactly 1", builders)
+	}
+	for i, spec := range specs {
+		cold := Run(context.Background(), spec)
+		cold.Timings, out[i].Timings = Timings{}, Timings{}
+		cj, _ := json.Marshal(cold)
+		oj, _ := json.Marshal(out[i])
+		if string(cj) != string(oj) {
+			t.Fatalf("spec %d: shared-deployment result differs from cold run\nshared: %s\ncold:   %s", i, oj, cj)
+		}
+	}
+}
+
+// TestNoInstanceCacheParity: the --no-instance-cache escape hatch rebuilds
+// per spec — no reuse reported, no cache traffic — and stays bit-identical
+// to the cached batch.
+func TestNoInstanceCacheParity(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	algos := []string{scheduler.Greedy, scheduler.DSatur}
+	cached := Expand([]Scenario{sc}, []int{300}, 2, nil, algos, base)
+	baseNC := base
+	baseNC.NoInstanceCache = true
+	uncached := Expand([]Scenario{sc}, []int{300}, 2, nil, algos, baseNC)
+
+	outC, err := (&Runner{Workers: 2}).Run(context.Background(), cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := NewDeployCache(0)
+	outN, err := (&Runner{Workers: 2, Deploy: dc}).Run(context.Background(), uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := dc.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("NoInstanceCache specs touched the cache: hits=%d misses=%d", hits, misses)
+	}
+	for i := range outN {
+		if outN[i].Timings.DeployReused {
+			t.Fatalf("spec %d reused a deployment despite NoInstanceCache", i)
+		}
+		// The knob is excluded from SpecKey, so the result records must agree
+		// field for field once wall-clock timings are zeroed.
+		outC[i].Timings, outN[i].Timings = Timings{}, Timings{}
+		cj, _ := json.Marshal(outC[i])
+		nj, _ := json.Marshal(outN[i])
+		if string(cj) != string(nj) {
+			t.Fatalf("spec %d: uncached result differs from cached\ncached:   %s\nuncached: %s", i, cj, nj)
+		}
+	}
+}
+
+// TestDeployCacheEviction: an entry-capped cache evicts least-recently-used
+// deployments; correctness is untouched, only reuse is shed.
+func TestDeployCacheEviction(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	// Three deployments (seeds), sequentially, through a single-entry cache.
+	specs := Expand([]Scenario{sc}, []int{200}, 3, nil, []string{scheduler.Greedy}, base)
+	dc := NewDeployCache(1)
+	out, err := (&Runner{Workers: 1, Deploy: dc}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out {
+		if res.Err != "" {
+			t.Fatalf("spec %d failed: %s", i, res.Err)
+		}
+		if res.Timings.DeployReused {
+			t.Fatalf("spec %d reused across distinct deployments", i)
+		}
+	}
+	_, misses, evictions := dc.Stats()
+	if misses != 3 || evictions != 2 || dc.Len() != 1 {
+		t.Fatalf("misses=%d evictions=%d len=%d, want 3/2/1", misses, evictions, dc.Len())
+	}
+
+	// A second pass over the last deployment hits what the cache retained.
+	last := specs[len(specs)-1]
+	if _, err := (&Runner{Workers: 1, Deploy: dc}).Run(context.Background(), []Spec{last}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _ := dc.Stats(); hits != 1 {
+		t.Fatalf("retained deployment not reused: hits=%d", hits)
+	}
+}

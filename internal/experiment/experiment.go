@@ -105,6 +105,13 @@ type Spec struct {
 	// Escalations past the window re-arm a fresh lookahead at the new γ.
 	// A performance knob like NoLookahead: excluded from SpecKey.
 	GammaLookahead int
+	// NoInstanceCache opts this spec out of the batch runner's stage-split
+	// instance cache (the DeployCache), so the deployment (pointset, EMST,
+	// lookahead builds) is generated cold even when a same-deployment spec
+	// already built it. Another pure performance knob: cached deployments
+	// are the exact artifacts a cold run builds, results are bit-identical
+	// either way — so it does not participate in SpecKey.
+	NoInstanceCache bool
 }
 
 // Scenario is the deployment-generator dependency of the runner. It is the
@@ -161,12 +168,11 @@ func (s Spec) Normalized() Spec { return s.normalized() }
 // across processes must use registered presets.
 func SpecKey(s Spec) string {
 	n := s.normalized()
-	name := ""
-	if n.Scenario != nil {
-		name = n.Scenario.PresetName()
-	}
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%d|%s|%s|%s|%g|%g|%g|%g|%g|%g|%t|%t|%s|%d|%g",
-		name, n.N, n.Seed, n.Sink, n.Power, n.Graph, n.Algo, n.Gamma, n.Delta,
+	// The canonical string factors as DeployKey (the deployment prefix:
+	// scenario, n, seed, sink) followed by the scheduling tail, so the
+	// instance cache's key is literally a prefix of the result cache's.
+	h := sha256.Sum256([]byte(DeployKey(s) + fmt.Sprintf("|%s|%s|%s|%g|%g|%g|%g|%g|%g|%t|%t|%s|%d|%g",
+		n.Power, n.Graph, n.Algo, n.Gamma, n.Delta,
 		n.SINR.Alpha, n.SINR.Beta, n.SINR.Noise, n.SINR.Epsilon,
 		n.Refine, n.Verify, n.VerifyEngine, n.MaxGammaRetries, n.GammaStep)))
 	return hex.EncodeToString(h[:16])
@@ -341,12 +347,33 @@ func (in *Instance) ReverifyIncremental() (float64, schedule.VerifyStats, error)
 	return in.Schedule.VerifySINRDelta(context.Background(), in.Spec.SINR, in.pf, in.vc)
 }
 
+// ReverifyGridWarm re-verifies the final schedule with the run's cached
+// margins dropped but its built slot grids retained: every margin is
+// recomputed, with the grid-build stage answered from the cache
+// (VerifyStats.ReusedGrids counts the slots so served). This isolates the
+// grid-warm path that escalation retries with changed powers take per slot
+// — the bench command's verify_grid_warm_sec column and the regression
+// gate's verify_grid_reused assertion come from here. Falls back to a full
+// cold recompute when the run kept no cache.
+func (in *Instance) ReverifyGridWarm() (float64, schedule.VerifyStats, error) {
+	if in.Schedule == nil || in.pf == nil {
+		return 0, schedule.VerifyStats{}, fmt.Errorf("experiment: instance has no schedule to verify")
+	}
+	in.vc.InvalidateMargins()
+	return in.Schedule.VerifySINRDelta(context.Background(), in.Spec.SINR, in.pf, in.vc)
+}
+
 // Timings records per-stage wall-clock seconds, plus the verification
 // engine's work diagnostics (which ride along here so the bench artifact
 // and golden outputs carry them next to the times they explain).
 type Timings struct {
 	GenerateSec float64 `json:"generate_sec"`
 	MSTSec      float64 `json:"mst_sec"`
+	// DeployReused reports that the deployment (pointset + EMST, and any
+	// lookahead builds another spec already paid for) came from the batch
+	// runner's instance cache; GenerateSec and MSTSec are then zero — the
+	// stages never ran in this instance.
+	DeployReused bool `json:"deploy_reused,omitempty"`
 	// BuildSec counts full conflict-graph builds only; γ-escalation retries
 	// served by the lookahead cache account their (much smaller) filter-scan
 	// time under BuildFilterSec instead, and set BuildReused.
@@ -379,6 +406,11 @@ type Timings struct {
 	// γ-escalation attempt), summed over attempts. Zero when incremental
 	// verification is disabled or no attempt shared a slot.
 	VerifyReusedSlots int64 `json:"verify_reused_slots,omitempty"`
+	// VerifyGridReused counts slot verifications that recomputed a margin
+	// over a cached built sender grid (same membership as an earlier slot,
+	// different powers — the grid-refresh path that skips buildGrid), summed
+	// over attempts.
+	VerifyGridReused int64 `json:"verify_grid_reused,omitempty"`
 	// VerifyRefinedCells counts far-field cells the engine re-aggregated at
 	// tightened openings during adaptive refinement (its middle tier,
 	// between the coarse pyramid pass and the exact fallback).
@@ -459,15 +491,15 @@ const marginClamp = 1e30
 // cancel or deadline stops the pipeline at the next stage, chunk, or slot
 // boundary; the returned Result then carries the context error.
 func Run(ctx context.Context, spec Spec) *Result {
-	res, _ := runWS(ctx, spec, nil)
+	res, _ := runWS(ctx, spec, nil, nil)
 	return res
 }
 
-// runWS is Run with an optional per-worker workspace, returning the raw
-// pipeline error alongside (so batch runners can distinguish a cancelled
-// instance from a failed one).
-func runWS(ctx context.Context, spec Spec, ws *Workspace) (*Result, error) {
-	_, res, err := newInstance(ctx, spec, ws)
+// runWS is Run with an optional per-worker workspace and shared instance
+// cache, returning the raw pipeline error alongside (so batch runners can
+// distinguish a cancelled instance from a failed one).
+func runWS(ctx context.Context, spec Spec, ws *Workspace, dc *DeployCache) (*Result, error) {
+	_, res, err := newInstance(ctx, spec, ws, dc)
 	if err != nil {
 		if res == nil {
 			name := ""
@@ -489,7 +521,7 @@ func runWS(ctx context.Context, spec Spec, ws *Workspace) (*Result, error) {
 // materialized artifacts and the metric record. On error the partially
 // filled Result (if any) is returned alongside. Cancellation: see Run.
 func NewInstance(ctx context.Context, spec Spec) (*Instance, *Result, error) {
-	return newInstance(ctx, spec, nil)
+	return newInstance(ctx, spec, nil, nil)
 }
 
 // Workspace owns the per-worker scratch a batch runner reuses across
@@ -505,7 +537,7 @@ func NewWorkspace() *Workspace {
 	return &Workspace{coloring: coloring.NewWorkspace()}
 }
 
-func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Result, error) {
+func newInstance(ctx context.Context, spec Spec, ws *Workspace, dc *DeployCache) (*Instance, *Result, error) {
 	spec = spec.normalized()
 	if spec.Scenario == nil {
 		return nil, nil, fmt.Errorf("experiment: spec has no scenario")
@@ -552,22 +584,23 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 	// Stage-boundary cancellation points: the stages themselves (conflict
 	// build, verification) also check ctx at chunk/slot granularity, so a
 	// cancel stops an instance within one chunk of work.
-	if err := ctx.Err(); err != nil {
-		return nil, res, err
+	// Deployment stages (generate, EMST), possibly shared: with an instance
+	// cache the deployment comes from (or is published to) the batch-wide
+	// DeployCache; cold runs build a private, uncached entry through the
+	// exact same path.
+	var dep *deployEntry
+	if dc != nil && !spec.NoInstanceCache {
+		dep, err = deployFor(ctx, spec, dc, &res.Timings)
+		if err != nil {
+			return nil, res, err
+		}
+	} else {
+		dep = &deployEntry{las: make(map[float64]*conflict.Lookahead)}
+		if err := buildDeploy(ctx, spec, dep, &res.Timings); err != nil {
+			return nil, res, err
+		}
 	}
-	t0 := time.Now()
-	pts := spec.Scenario.Generate(spec.N, spec.Seed)
-	res.Timings.GenerateSec = time.Since(t0).Seconds()
-
-	if err := ctx.Err(); err != nil {
-		return nil, res, err
-	}
-	t0 = time.Now()
-	tree, err := mst.NewMSTTreeCtx(ctx, pts, spec.Sink)
-	if err != nil {
-		return nil, res, fmt.Errorf("experiment: mst: %w", err)
-	}
-	res.Timings.MSTSec = time.Since(t0).Seconds()
+	pts, tree := dep.pts, dep.tree
 
 	links := tree.Links
 	res.Links = len(links)
@@ -626,7 +659,10 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 				for i := 0; i < depth; i++ {
 					top *= spec.GammaStep
 				}
-				la = conflict.NewLookahead(top)
+				// The deployment entry shares one Lookahead per ceiling, so
+				// same-deployment specs pay the annotated build once; a cold
+				// (uncached) entry degenerates to a private Lookahead.
+				la = dep.lookaheadFor(top)
 			}
 			cfg.Lookahead = la
 		}
@@ -665,7 +701,7 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 		if !spec.Verify {
 			break
 		}
-		t0 = time.Now()
+		t0 := time.Now()
 		var margin float64
 		var verr error
 		if spec.VerifyEngine == schedule.EngineNaive {
@@ -676,6 +712,7 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 			engStats.Add(vst.Engine)
 			res.Timings.PowerSolveSec += vst.PowerSec
 			res.Timings.VerifyReusedSlots += int64(vst.ReusedSlots)
+			res.Timings.VerifyGridReused += int64(vst.ReusedGrids)
 			inst.VerifyStats = vst
 		}
 		res.Timings.VerifySec += time.Since(t0).Seconds()
@@ -699,7 +736,7 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace) (*Instance, *Res
 	}
 
 	if spec.Refine {
-		t0 = time.Now()
+		t0 := time.Now()
 		sets := coloring.Refine(links, spec.SINR)
 		res.Timings.RefineSec = time.Since(t0).Seconds()
 		if err := coloring.VerifyRefinement(links, sets, spec.SINR); err != nil {
@@ -733,6 +770,13 @@ type Runner struct {
 	// instead of discarding partially computed instances the way a ctx
 	// cancel does.
 	Drain context.Context
+	// Deploy is the stage-split instance cache shared by the batch: specs
+	// with equal DeployKeys (same scenario, n, seed, sink) share one
+	// generation + EMST + lookahead build. Nil means Run creates a private
+	// cache per batch — the compare-grid case — so sharing is on by
+	// default; individual specs opt out via Spec.NoInstanceCache. The
+	// serving layer installs a server-wide cache here instead.
+	Deploy *DeployCache
 }
 
 // Run executes the specs and returns results in spec order — deterministic
@@ -743,6 +787,10 @@ type Runner struct {
 // never ran (or were aborted mid-flight) are nil.
 func (r *Runner) Run(ctx context.Context, specs []Spec) ([]*Result, error) {
 	workers := Workers(r.Workers, len(specs))
+	dc := r.Deploy
+	if dc == nil {
+		dc = NewDeployCache(0)
+	}
 	out := make([]*Result, len(specs))
 	var cursor atomic.Int64
 	var mu sync.Mutex
@@ -760,7 +808,7 @@ func (r *Runner) Run(ctx context.Context, specs []Spec) ([]*Result, error) {
 				if i >= len(specs) {
 					return
 				}
-				res, err := runWS(ctx, specs[i], ws)
+				res, err := runWS(ctx, specs[i], ws, dc)
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					// Aborted mid-instance: not a completed result.
 					return

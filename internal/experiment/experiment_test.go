@@ -483,6 +483,7 @@ func TestSpecKeyCanonical(t *testing.T) {
 		func(s *Spec) { s.NoIncrementalVerify = true },
 		func(s *Spec) { s.NoLookahead = true },
 		func(s *Spec) { s.GammaLookahead = 4 },
+		func(s *Spec) { s.NoInstanceCache = true },
 	}
 	for i, mut := range perfKnobs {
 		s := full

@@ -43,6 +43,11 @@ type VerifyStats struct {
 	// (identical membership and powers as a previously verified slot), so
 	// no engine work was performed for them.
 	ReusedSlots int
+	// ReusedGrids counts slots whose margin was recomputed but whose built
+	// sender grid + pyramid came from the cache (identical membership as a
+	// previously verified slot), so the engine skipped buildGrid. Margin
+	// cache hits do not count here — a reused margin needs no grid at all.
+	ReusedGrids int
 	// Engine aggregates the fast engine's work counters over the slots
 	// actually computed (cache hits contribute nothing).
 	Engine sinr.EngineStats
@@ -91,25 +96,90 @@ func hashSlot(slot []int, powers []float64) slotKey {
 	return k
 }
 
-// VerifyCache memoizes exact slot margins by content key, enabling the
+// hashSlotMembers returns the order-insensitive membership key of a slot:
+// hashSlot with the power bits left out. Two slots with equal membership
+// keys cover the same link set, possibly under different powers — exactly
+// the situation where the built sender grid (geometry-determined structure,
+// power-determined masses) can be refreshed instead of rebuilt.
+func hashSlotMembers(slot []int) slotKey {
+	var k slotKey
+	k.m = int32(len(slot))
+	for _, g := range slot {
+		h := mix64(uint64(g) * 0x9e3779b97f4a7c15)
+		k.sum += h
+		k.xor ^= h<<(h&63) | h>>(64-h&63)
+	}
+	return k
+}
+
+// DefaultVerifyCacheBytes is the byte budget NewVerifyCache installs:
+// generous enough to hold the margins plus the built slot grids of an
+// n=1e6 schedule, small enough that a long-lived service process cannot
+// grow without bound across escalation chains.
+const DefaultVerifyCacheBytes = 256 << 20
+
+// vcEntry is one cache line: either a margin (keyed by slot content,
+// membership + powers) or a built slot grid (keyed by membership alone).
+// Entries of both kinds share a single LRU list and byte budget.
+type vcEntry struct {
+	key        slotKey
+	grid       bool // which map owns the entry
+	margin     float64
+	g          *sinr.SlotGrid
+	size       int64
+	prev, next *vcEntry
+}
+
+// VerifyCache memoizes slot verification work by content key, enabling the
 // incremental VerifySINRDelta path: re-verifying a schedule that shares
 // slots with a previously verified one (γ-escalation retries, the service's
 // re-verify hook, delta re-checks after slot edits) recomputes only the
-// slots whose membership or powers actually changed.
+// slots whose membership or powers actually changed. It holds two tiers:
+// exact margins keyed by full slot content (membership + powers), and built
+// sender grids + pyramids keyed by membership alone — so a slot that kept
+// its links but changed powers skips the grid build and only refreshes the
+// masses. Both tiers share one LRU list bounded by a byte budget; margins
+// are ~100 bytes each, grids carry their measured SizeBytes, and the
+// least-recently-used entries of either kind are evicted once the budget
+// is exceeded.
 //
 // A cache is only meaningful across verifications over the same link set
 // and SINR params it was created for; VerifySINRDelta falls back to a full
 // recompute (never a wrong answer) when the params disagree. The caller
 // must not reuse a cache across different link sets — keys are global link
-// indices, so equal keys would alias different geometry.
+// indices, so equal keys would alias different geometry. Cached grids are
+// immutable: the engine refreshes into a fresh grid rather than mutating a
+// cached one, so read-only concurrent lookups during a fan-out are safe.
 type VerifyCache struct {
 	p       sinr.Params
-	margins map[slotKey]float64
+	budget  int64
+	used    int64
+	margins map[slotKey]*vcEntry
+	grids   map[slotKey]*vcEntry
+	// LRU list: head is most recently used, tail is next to evict.
+	head, tail *vcEntry
 }
 
-// NewVerifyCache returns an empty cache bound to the given params.
+// vcMarginSize approximates the resident cost of one margin entry (struct,
+// map bucket share, pointer overhead) against the byte budget.
+const vcMarginSize = 112
+
+// NewVerifyCache returns an empty cache bound to the given params, with the
+// default byte budget.
 func NewVerifyCache(p sinr.Params) *VerifyCache {
-	return &VerifyCache{p: p, margins: make(map[slotKey]float64)}
+	return NewVerifyCacheBytes(p, DefaultVerifyCacheBytes)
+}
+
+// NewVerifyCacheBytes returns an empty cache bound to the given params with
+// an explicit byte budget. A budget ≤ 0 disables grid retention and keeps
+// only the margin most recently inserted — still correct, just cold.
+func NewVerifyCacheBytes(p sinr.Params, budget int64) *VerifyCache {
+	return &VerifyCache{
+		p:       p,
+		budget:  budget,
+		margins: make(map[slotKey]*vcEntry),
+		grids:   make(map[slotKey]*vcEntry),
+	}
 }
 
 // Len reports the number of cached slot margins.
@@ -118,6 +188,122 @@ func (vc *VerifyCache) Len() int {
 		return 0
 	}
 	return len(vc.margins)
+}
+
+// GridLen reports the number of cached built slot grids.
+func (vc *VerifyCache) GridLen() int {
+	if vc == nil {
+		return 0
+	}
+	return len(vc.grids)
+}
+
+// Bytes reports the cache's current charge against its byte budget.
+func (vc *VerifyCache) Bytes() int64 {
+	if vc == nil {
+		return 0
+	}
+	return vc.used
+}
+
+// InvalidateMargins drops every cached margin while keeping the built slot
+// grids. A following verification of the same schedule recomputes every
+// margin with the grid-build stage skipped — the grid-warm path that
+// escalation retries with changed powers take per slot, exposed whole for
+// re-verification sweeps and the warm-verify benchmark.
+func (vc *VerifyCache) InvalidateMargins() {
+	if vc == nil {
+		return
+	}
+	for k, e := range vc.margins {
+		vc.unlink(e)
+		vc.used -= e.size
+		delete(vc.margins, k)
+	}
+}
+
+// unlink removes e from the LRU list.
+func (vc *VerifyCache) unlink(e *vcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		vc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		vc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (vc *VerifyCache) pushFront(e *vcEntry) {
+	e.prev, e.next = nil, vc.head
+	if vc.head != nil {
+		vc.head.prev = e
+	}
+	vc.head = e
+	if vc.tail == nil {
+		vc.tail = e
+	}
+}
+
+// touch moves an existing entry to the front of the LRU list.
+func (vc *VerifyCache) touch(e *vcEntry) {
+	if vc.head == e {
+		return
+	}
+	vc.unlink(e)
+	vc.pushFront(e)
+}
+
+// insertMargin adds (or refreshes) a margin entry and evicts past budget.
+func (vc *VerifyCache) insertMargin(key slotKey, margin float64) {
+	if e, ok := vc.margins[key]; ok {
+		e.margin = margin
+		vc.touch(e)
+		return
+	}
+	e := &vcEntry{key: key, margin: margin, size: vcMarginSize}
+	vc.margins[key] = e
+	vc.used += e.size
+	vc.pushFront(e)
+	vc.evict()
+}
+
+// insertGrid adds (or replaces) a grid entry and evicts past budget. g must
+// not be mutated after insertion.
+func (vc *VerifyCache) insertGrid(key slotKey, g *sinr.SlotGrid) {
+	size := g.SizeBytes() + vcMarginSize
+	if e, ok := vc.grids[key]; ok {
+		vc.used += size - e.size
+		e.g, e.size = g, size
+		vc.touch(e)
+		vc.evict()
+		return
+	}
+	e := &vcEntry{key: key, grid: true, g: g, size: size}
+	vc.grids[key] = e
+	vc.used += size
+	vc.pushFront(e)
+	vc.evict()
+}
+
+// evict drops least-recently-used entries until the budget is respected,
+// always keeping the most recent entry so a single oversized grid still
+// serves the verification that built it.
+func (vc *VerifyCache) evict() {
+	for vc.used > vc.budget && vc.tail != nil && vc.tail != vc.head {
+		e := vc.tail
+		vc.unlink(e)
+		vc.used -= e.size
+		if e.grid {
+			delete(vc.grids, e.key)
+		} else {
+			delete(vc.margins, e.key)
+		}
+	}
 }
 
 // VerifySINR checks that every slot of the schedule is SINR-feasible under
@@ -166,12 +352,16 @@ func (s *Schedule) VerifySINRDelta(ctx context.Context, p sinr.Params, pf PowerF
 		stats               sinr.EngineStats
 		powerSec, marginSec float64
 		pfErr, mErr         error
-		key                 slotKey
+		key, gkey           slotKey
+		// grid is the built (or refreshed) slot grid the engine retained for
+		// this slot, to be inserted into the cache after the fan-out.
+		grid *sinr.SlotGrid
 		// ran marks slots a worker actually examined — the cancelled-path
 		// stats must not count slots that were never dispatched.
 		ran bool
-		// reused marks cache hits (no engine work, nothing to re-insert).
-		reused bool
+		// reused marks margin cache hits (no engine work, nothing to
+		// re-insert); gridReused marks grid cache hits under a margin miss.
+		reused, gridReused bool
 	}
 	outs := make([]slotOut, len(s.Slots))
 	// failCut is the lowest slot index so far found infeasible (or errored).
@@ -203,16 +393,32 @@ func (s *Schedule) VerifySINRDelta(ctx context.Context, p sinr.Params, pf PowerF
 					continue
 				}
 				if vc != nil {
-					// The map is read-only for the whole fan-out (inserts
+					// Both maps are read-only for the whole fan-out (inserts
 					// happen after it), so concurrent lookups are safe.
 					o.key = hashSlot(slot, powers)
-					if mg, ok := vc.margins[o.key]; ok {
-						o.margin, o.reused = mg, true
-						if mg < 1 {
+					if e, ok := vc.margins[o.key]; ok {
+						o.margin, o.reused = e.margin, true
+						if o.margin < 1 {
 							lowerCut(&failCut, int64(k))
 						}
 						continue
 					}
+					// Margin miss: look for a built grid under the slot's
+					// membership key and verify grid-warm, retaining the
+					// built/refreshed grid for insertion after the fan-out.
+					o.gkey = hashSlotMembers(slot)
+					var cg *sinr.SlotGrid
+					if e, ok := vc.grids[o.gkey]; ok {
+						cg = e.g
+					}
+					t0 = time.Now()
+					o.margin, o.grid, o.gridReused, o.mErr =
+						eng.MarginSlotGrid(slot, powers, sc, &o.stats, cg, true)
+					o.marginSec = time.Since(t0).Seconds()
+					if o.mErr != nil || o.margin < 1 {
+						lowerCut(&failCut, int64(k))
+					}
+					continue
 				}
 				t0 = time.Now()
 				o.margin, o.mErr = eng.MarginSlot(slot, powers, sc, &o.stats)
@@ -224,14 +430,28 @@ func (s *Schedule) VerifySINRDelta(ctx context.Context, p sinr.Params, pf PowerF
 		}
 	})
 
-	// Record freshly computed margins — on every exit path, in slot order.
-	// Caching the feasible slots of an infeasible schedule is the point of
-	// the γ-escalation reuse: the next attempt skips every slot it kept.
+	// Record freshly computed margins and retained grids — on every exit
+	// path, in slot order (deterministic LRU recency). Caching the feasible
+	// slots of an infeasible schedule is the point of the γ-escalation
+	// reuse: the next attempt skips every slot it kept. Reused entries are
+	// touched so eviction tracks actual access order.
 	if vc != nil {
 		for k := range outs {
 			o := &outs[k]
-			if o.ran && !o.reused && o.pfErr == nil && o.mErr == nil {
-				vc.margins[o.key] = o.margin
+			if !o.ran || o.pfErr != nil {
+				continue
+			}
+			if o.reused {
+				if e, ok := vc.margins[o.key]; ok {
+					vc.touch(e)
+				}
+				continue
+			}
+			if o.mErr == nil {
+				vc.insertMargin(o.key, o.margin)
+			}
+			if o.grid != nil {
+				vc.insertGrid(o.gkey, o.grid)
 			}
 		}
 	}
@@ -248,6 +468,9 @@ func (s *Schedule) VerifySINRDelta(ctx context.Context, p sinr.Params, pf PowerF
 			st.Slots++
 			if outs[k].reused {
 				st.ReusedSlots++
+			}
+			if outs[k].gridReused {
+				st.ReusedGrids++
 			}
 			st.Engine.Add(outs[k].stats)
 			st.PowerSec += outs[k].powerSec
@@ -271,6 +494,9 @@ func (s *Schedule) VerifySINRDelta(ctx context.Context, p sinr.Params, pf PowerF
 		st.Slots++
 		if o.reused {
 			st.ReusedSlots++
+		}
+		if o.gridReused {
+			st.ReusedGrids++
 		}
 		st.Engine.Add(o.stats)
 		st.PowerSec += o.powerSec

@@ -27,6 +27,10 @@ var requiredSeries = []string{
 	"aggrate_cache_hits_total",
 	"aggrate_cache_misses_total",
 	"aggrate_cache_evictions_total",
+	"aggrate_instance_cache_hits_total",
+	"aggrate_instance_cache_misses_total",
+	"aggrate_instance_cache_evictions_total",
+	"aggrate_instance_cache_entries",
 	"aggrate_queue_depth",
 	"aggrate_queue_capacity",
 	"aggrate_active_workers",

@@ -77,6 +77,12 @@ type Config struct {
 	// CacheBytes is the LRU capacity in approximate encoded bytes; entries
 	// are evicted when either bound is exceeded. Default 256 MiB.
 	CacheBytes int64
+	// InstanceCacheSize bounds the server-wide stage-split instance cache
+	// (experiment.DeployCache) in deployments: specs sharing a deployment
+	// prefix (scenario, n, seed) reuse one generation + EMST + lookahead
+	// build across jobs. Negative disables the cache; 0 means
+	// experiment.DefaultDeployCacheEntries.
+	InstanceCacheSize int
 	// MaxSpecs bounds the grid size of a single job. Default 10000.
 	MaxSpecs int
 	// MaxJobs bounds the job records kept in memory: when a submission
@@ -140,6 +146,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	cache    *resultCache
+	deploy   *experiment.DeployCache
 	metrics  *metrics
 	journal  *journal
 	limiter  *rateLimiter
@@ -173,6 +180,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:          cfg,
 		cache:        newResultCache(cfg.CacheSize, cfg.CacheBytes),
+		deploy:       newDeployCache(cfg.InstanceCacheSize),
 		metrics:      newMetrics(),
 		limiter:      newRateLimiter(cfg.RateLimit, cfg.RateBurst),
 		drainEst:     &drainEstimator{},
@@ -311,6 +319,30 @@ func (s *Server) registerGauges() {
 	m.registerCounter("aggrate_cache_evictions_total", "", "Result-cache evictions.", func() float64 {
 		return float64(s.cache.evictions.Load())
 	})
+	m.registerCounter("aggrate_instance_cache_hits_total", "", "Stage-split instance-cache hits (deployments reused across specs).", func() float64 {
+		h, _, _ := s.deploy.Stats()
+		return float64(h)
+	})
+	m.registerCounter("aggrate_instance_cache_misses_total", "", "Stage-split instance-cache misses (deployments built).", func() float64 {
+		_, mi, _ := s.deploy.Stats()
+		return float64(mi)
+	})
+	m.registerCounter("aggrate_instance_cache_evictions_total", "", "Stage-split instance-cache evictions.", func() float64 {
+		_, _, ev := s.deploy.Stats()
+		return float64(ev)
+	})
+	m.registerGauge("aggrate_instance_cache_entries", "", "Deployments held by the stage-split instance cache.", func() float64 {
+		return float64(s.deploy.Len())
+	})
+}
+
+// newDeployCache resolves the InstanceCacheSize config: negative disables
+// the cache (every spec deploys cold), zero takes the experiment default.
+func newDeployCache(size int) *experiment.DeployCache {
+	if size < 0 {
+		return nil
+	}
+	return experiment.NewDeployCache(size)
 }
 
 // Close hard-stops the server: every live job is cancelled immediately,
@@ -1053,9 +1085,14 @@ func (s *Server) runJob(j *job) {
 		miss := make([]experiment.Spec, len(missIdx))
 		for k, i := range missIdx {
 			miss[k] = j.specs[i]
+			if s.deploy == nil {
+				// Instance cache disabled by config: opt every spec out so the
+				// runner's per-batch fallback cache stays unused too.
+				miss[k].NoInstanceCache = true
+			}
 		}
 		s.activeWorkers.Store(int64(experiment.Workers(s.cfg.Workers, len(miss))))
-		runner := experiment.Runner{Workers: s.cfg.Workers, Drain: j.drainCtx, Sink: func(k int, r *experiment.Result) {
+		runner := experiment.Runner{Workers: s.cfg.Workers, Deploy: s.deploy, Drain: j.drainCtx, Sink: func(k int, r *experiment.Result) {
 			i := missIdx[k]
 			if r.Err == "" {
 				s.cache.add(j.keys[i], r)

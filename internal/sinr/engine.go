@@ -34,8 +34,20 @@
 //     and exact arithmetic can never eject the true argmin from the
 //     candidate set — the returned margin is always an exactly-computed one.
 //
+// The grid pyramid of a slot lives in a SlotGrid, which MarginSlotGrid can
+// hand back to the caller for retention: verification caches keep built
+// grids keyed by slot membership so escalation retries, delta re-verifies
+// and warm re-runs skip buildGrid. A retained grid is immutable; reuse is
+// guarded by an order hash (grid layout is slot-order dependent) and a
+// power hash (masses are power sums — a membership match with different
+// powers is refreshed into a new grid, never mutated in place).
+//
 // Determinism: MarginSlot is a pure function of (params, links, slot,
 // powers); scratch and stats only carry reusable buffers and counters.
+// Grid reuse returns bit-identical margins: the interval tiers may be
+// freely rescheduled (they only select candidates, and certification plus
+// padding keeps the true argmin in the set), while the exact rows that
+// produce the returned margin always accumulate in naive slot order.
 package sinr
 
 import (
@@ -50,13 +62,20 @@ import (
 // floating-point discrepancy between the interval arithmetic and the exact
 // pairwise sum (≈ m·2⁻⁵² ≲ 1e-10 even for million-link slots), so interval
 // containment — and with it the exactness of the returned margin — survives
-// rounding.
+// rounding, including the few extra ulps of the reciprocal-multiply
+// near-field kernels.
 const intervalPad = 1e-9
 
 // engineExactCutoff is the slot size at or below which the grid is not worth
 // building and the engine runs the exact pairwise evaluation directly (still
 // on the cached-gain SoA kernels, so small slots skip per-pair math.Pow too).
 const engineExactCutoff = 64
+
+// exactTile is the row/column tile size of the symmetric exact-all kernel:
+// small enough that two tiles of sender/receiver coordinates and the
+// partner-row accumulators stay L1-resident, large enough to amortize the
+// tile loop overhead.
+const exactTile = 128
 
 // engineThetaLadder2 holds the squared opening thresholds θ² of the adaptive
 // descent, coarsest first. A pyramid node is aggregated when
@@ -82,6 +101,19 @@ const engineRefineMin = 4
 
 // engineMaxGridDim caps the base-grid resolution (memory is O(dim²)).
 const engineMaxGridDim = 1024
+
+// engineSharedPassMin is the slot size at or above which the coarse first
+// pass runs the cell-shared descent (one pyramid walk per sender cell,
+// amortized over its members) instead of one walk per link. Below it the
+// per-link pass is already cheap and its tighter per-receiver intervals
+// keep the candidate set smaller.
+const engineSharedPassMin = 1 << 13
+
+// FNV-1a over 64-bit words, used for the SlotGrid reuse guards.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // Engine caches per-link gains for repeated slot verification over a fixed
 // link set. Create one per schedule with NewEngine; MarginSlot is then safe
@@ -154,7 +186,8 @@ func (e *Engine) powD2Slow(d2 float64) float64 {
 // rowSum accumulates Σ_j pw[j]/dist(p_j, q)^α into acc over the flat sender
 // arrays, dispatching to the α-specialized SoA kernels. The kernels add
 // terms in slice order, so callers control summation order exactly (the
-// naive-parity contract).
+// naive-parity contract). This is the order-pinned path: the exact rows
+// that produce returned margins always come through here.
 func (e *Engine) rowSum(acc float64, px, py, pw []float64, qx, qy float64) float64 {
 	switch e.powMode {
 	case powAlpha3:
@@ -217,6 +250,153 @@ func (e *Engine) rowSumGeneric(acc float64, px, py, pw []float64, qx, qy float64
 		acc += pw[j] / math.Pow(dx*dx+dy*dy, e.alphaHalf)
 	}
 	return acc
+}
+
+// rowSumFast is the certified-interval counterpart of rowSum: the near-field
+// cell sums of the descent come through here. These kernels batch four gains
+// into one reciprocal (1/(g0·g1·g2·g3), terms recovered by multiplication),
+// trading the four serial divides — the loop-carried latency wall of the
+// plain kernels — for one divide plus a handful of pipelined multiplies.
+// The result differs from left-to-right division by a few ulps, which only
+// perturbs the certified interval endpoints and is absorbed by intervalPad;
+// returned margins are unaffected (they come from the order-pinned rowSum).
+// A degenerate product (underflow to 0, overflow to Inf, NaN from a zero
+// distance) falls back to per-element division for the block, so co-located
+// senders still poison the interval to +Inf exactly like the plain kernel.
+func (e *Engine) rowSumFast(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	switch e.powMode {
+	case powAlpha3:
+		return rowSumFastA3(acc, px, py, pw, qx, qy)
+	case powAlpha2:
+		return rowSumFastA2(acc, px, py, pw, qx, qy)
+	case powAlpha4:
+		return rowSumFastA4(acc, px, py, pw, qx, qy)
+	}
+	return e.rowSumGeneric(acc, px, py, pw, qx, qy)
+}
+
+// rowSumFastA3 is the batched α=3 interval kernel.
+func rowSumFastA3(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	n := len(px)
+	py = py[:n]
+	pw = pw[:n]
+	var acc2 float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		dx0 := px[j] - qx
+		dy0 := py[j] - qy
+		d20 := dx0*dx0 + dy0*dy0
+		g0 := d20 * math.Sqrt(d20)
+		dx1 := px[j+1] - qx
+		dy1 := py[j+1] - qy
+		d21 := dx1*dx1 + dy1*dy1
+		g1 := d21 * math.Sqrt(d21)
+		dx2 := px[j+2] - qx
+		dy2 := py[j+2] - qy
+		d22 := dx2*dx2 + dy2*dy2
+		g2 := d22 * math.Sqrt(d22)
+		dx3 := px[j+3] - qx
+		dy3 := py[j+3] - qy
+		d23 := dx3*dx3 + dy3*dy3
+		g3 := d23 * math.Sqrt(d23)
+		g01 := g0 * g1
+		g23 := g2 * g3
+		if inv := 1 / (g01 * g23); inv > 0 && !math.IsInf(inv, 1) {
+			acc += (pw[j]*g1 + pw[j+1]*g0) * g23 * inv
+			acc2 += (pw[j+2]*g3 + pw[j+3]*g2) * g01 * inv
+		} else {
+			acc += pw[j]/g0 + pw[j+1]/g1
+			acc2 += pw[j+2]/g2 + pw[j+3]/g3
+		}
+	}
+	for ; j < n; j++ {
+		dx := px[j] - qx
+		dy := py[j] - qy
+		d2 := dx*dx + dy*dy
+		acc += pw[j] / (d2 * math.Sqrt(d2))
+	}
+	return acc + acc2
+}
+
+// rowSumFastA2 is the batched α=2 interval kernel.
+func rowSumFastA2(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	n := len(px)
+	py = py[:n]
+	pw = pw[:n]
+	var acc2 float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		dx0 := px[j] - qx
+		dy0 := py[j] - qy
+		g0 := dx0*dx0 + dy0*dy0
+		dx1 := px[j+1] - qx
+		dy1 := py[j+1] - qy
+		g1 := dx1*dx1 + dy1*dy1
+		dx2 := px[j+2] - qx
+		dy2 := py[j+2] - qy
+		g2 := dx2*dx2 + dy2*dy2
+		dx3 := px[j+3] - qx
+		dy3 := py[j+3] - qy
+		g3 := dx3*dx3 + dy3*dy3
+		g01 := g0 * g1
+		g23 := g2 * g3
+		if inv := 1 / (g01 * g23); inv > 0 && !math.IsInf(inv, 1) {
+			acc += (pw[j]*g1 + pw[j+1]*g0) * g23 * inv
+			acc2 += (pw[j+2]*g3 + pw[j+3]*g2) * g01 * inv
+		} else {
+			acc += pw[j]/g0 + pw[j+1]/g1
+			acc2 += pw[j+2]/g2 + pw[j+3]/g3
+		}
+	}
+	for ; j < n; j++ {
+		dx := px[j] - qx
+		dy := py[j] - qy
+		acc += pw[j] / (dx*dx + dy*dy)
+	}
+	return acc + acc2
+}
+
+// rowSumFastA4 is the batched α=4 interval kernel.
+func rowSumFastA4(acc float64, px, py, pw []float64, qx, qy float64) float64 {
+	n := len(px)
+	py = py[:n]
+	pw = pw[:n]
+	var acc2 float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		dx0 := px[j] - qx
+		dy0 := py[j] - qy
+		d20 := dx0*dx0 + dy0*dy0
+		g0 := d20 * d20
+		dx1 := px[j+1] - qx
+		dy1 := py[j+1] - qy
+		d21 := dx1*dx1 + dy1*dy1
+		g1 := d21 * d21
+		dx2 := px[j+2] - qx
+		dy2 := py[j+2] - qy
+		d22 := dx2*dx2 + dy2*dy2
+		g2 := d22 * d22
+		dx3 := px[j+3] - qx
+		dy3 := py[j+3] - qy
+		d23 := dx3*dx3 + dy3*dy3
+		g3 := d23 * d23
+		g01 := g0 * g1
+		g23 := g2 * g3
+		if inv := 1 / (g01 * g23); inv > 0 && !math.IsInf(inv, 1) {
+			acc += (pw[j]*g1 + pw[j+1]*g0) * g23 * inv
+			acc2 += (pw[j+2]*g3 + pw[j+3]*g2) * g01 * inv
+		} else {
+			acc += pw[j]/g0 + pw[j+1]/g1
+			acc2 += pw[j+2]/g2 + pw[j+3]/g3
+		}
+	}
+	for ; j < n; j++ {
+		dx := px[j] - qx
+		dy := py[j] - qy
+		d2 := dx*dx + dy*dy
+		acc += pw[j] / (d2 * d2)
+	}
+	return acc + acc2
 }
 
 // EngineStats counts the work the engine performed, for diagnostics and the
@@ -292,6 +472,122 @@ type engineNode struct {
 	minX, minY, maxX, maxY float64
 }
 
+// SlotGrid is the built spatial structure of one slot: the base-grid cell
+// tables, the cell-ordered SoA sender copies the near-field sums stream
+// over, and the bounding-box pyramid the descent walks. Building one is the
+// per-slot setup cost of MarginSlot; retaining one (MarginSlotGrid with
+// retain=true) lets verification caches skip that build when the same slot
+// membership comes back — across γ-escalation retries, delta re-verifies
+// and warm re-runs.
+//
+// A retained grid is immutable and safe for concurrent readers. Layout is
+// slot-order dependent (cellOf/posOf use slot-local indices), so reuse is
+// guarded by orderHash; masses are power sums, so a membership match with
+// different powers is refreshed into a fresh grid via refreshFrom, never
+// patched in place.
+type SlotGrid struct {
+	cellOf  []int32 // base-grid cell of each member's sender
+	posOf   []int32 // position of each member in the cell-ordered arrays
+	starts  []int32 // CSR cell offsets into members
+	members []int32 // member indices grouped by base cell
+	// Cell-ordered copies of (px, py, pw), indexed like members, so the
+	// near-field sums of the interval descent scan contiguous memory.
+	cpx, cpy, cpw []float64
+
+	nodes    []engineNode // pyramid, level-major from the base grid up
+	levelOff []int        // node offset of each pyramid level
+	// childMask holds, for every non-base node, the 4-bit occupancy mask of
+	// its children (bit dy·2+dx). Opening a node consults one byte instead
+	// of probing four scattered 40-byte child structs. Indexed like nodes;
+	// base-level entries are unused.
+	childMask []uint8
+
+	d0       int     // base-grid dimension (power of two)
+	nonEmpty int     // non-empty base cells
+	invCS    float64 // 1 / cell size
+	gridOX   float64 // grid origin (sender bbox min corner)
+	gridOY   float64
+
+	// Reuse guards: FNV-1a over the slot's global link indices in slot
+	// order, and over the power bits in slot order.
+	orderHash uint64
+	powHash   uint64
+}
+
+// m returns the slot size the grid was built for.
+func (g *SlotGrid) m() int { return len(g.cellOf) }
+
+// SizeBytes reports the grid's retained memory, for cache byte budgets.
+func (g *SlotGrid) SizeBytes() int64 {
+	b := int64(cap(g.cellOf)+cap(g.posOf)+cap(g.starts)+cap(g.members)) * 4
+	b += int64(cap(g.cpx)+cap(g.cpy)+cap(g.cpw)) * 8
+	b += int64(cap(g.nodes)) * 40 // 5 float64 fields
+	b += int64(cap(g.childMask))
+	b += int64(cap(g.levelOff)) * 8
+	return b + 96 // struct header
+}
+
+// refreshFrom rebuilds g as src with new powers: the power-independent
+// structure (cell tables, membership, bounding boxes, layout scalars) is
+// copied, then the cell-ordered power copies and the node masses are
+// recomputed. The mass arithmetic replays a fresh build bit for bit — base
+// masses accumulate in slot order, pyramid masses sum non-empty children in
+// child order — so a refreshed grid yields margins identical to building
+// from scratch. src is never written (retained grids stay immutable under
+// concurrent readers).
+func (g *SlotGrid) refreshFrom(src *SlotGrid, pw []float64, powHash uint64) {
+	g.cellOf = append(g.cellOf[:0], src.cellOf...)
+	g.posOf = append(g.posOf[:0], src.posOf...)
+	g.starts = append(g.starts[:0], src.starts...)
+	g.members = append(g.members[:0], src.members...)
+	g.cpx = append(g.cpx[:0], src.cpx...)
+	g.cpy = append(g.cpy[:0], src.cpy...)
+	if cap(g.cpw) < len(src.cpw) {
+		g.cpw = make([]float64, len(src.cpw))
+	}
+	g.cpw = g.cpw[:len(src.cpw)]
+	g.nodes = append(g.nodes[:0], src.nodes...)
+	g.childMask = append(g.childMask[:0], src.childMask...)
+	g.levelOff = append(g.levelOff[:0], src.levelOff...)
+	g.d0, g.nonEmpty = src.d0, src.nonEmpty
+	g.invCS, g.gridOX, g.gridOY = src.invCS, src.gridOX, src.gridOY
+	g.orderHash, g.powHash = src.orderHash, powHash
+
+	for i := range g.nodes {
+		g.nodes[i].mass = 0
+	}
+	for k, p := range pw {
+		g.nodes[g.cellOf[k]].mass += p
+		g.cpw[g.posOf[k]] = p
+	}
+	d0 := g.d0
+	for l, d := 1, d0>>1; d >= 1; l, d = l+1, d>>1 {
+		off, coff := g.levelOff[l], g.levelOff[l-1]
+		cd := d << 1
+		for y := 0; y < d; y++ {
+			for x := 0; x < d; x++ {
+				n := &g.nodes[off+y*d+x]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						ch := &g.nodes[coff+(2*y+dy)*cd+(2*x+dx)]
+						if ch.mass == 0 {
+							continue
+						}
+						// First non-empty child assigns, later ones add —
+						// the same accumulation order as buildGrid's union
+						// pass, so the sums round identically.
+						if n.mass == 0 {
+							n.mass = ch.mass
+						} else {
+							n.mass += ch.mass
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // EngineScratch holds the reusable per-goroutine buffers of MarginSlot, so
 // steady-state verification allocates nothing per slot.
 type EngineScratch struct {
@@ -302,28 +598,25 @@ type EngineScratch struct {
 	sig    []float64 // received signals P/l^α
 	lb, ub []float64 // certified margin interval per member
 
-	cellOf  []int32 // base-grid cell of each member's sender
-	posOf   []int32 // position of each member in the cell-ordered arrays
-	starts  []int32 // CSR cell offsets into members
-	fill    []int32 // CSR fill cursors (build-time only)
-	members []int32 // member indices grouped by base cell
-	// Cell-ordered copies of (px, py, pw), indexed like members, so the
-	// near-field sums of the interval descent scan contiguous memory.
-	cpx, cpy, cpw []float64
+	fill []int32 // CSR fill cursors (grid build only)
 
 	near []int32 // near pairs of each member's latest descent
 	cand []int32 // current candidate members (ascending)
 
-	nodes    []engineNode // pyramid, level-major from the base grid up
-	levelOff []int        // node offset of each pyramid level
-	stack    []nodeRef    // descent stack
+	stack []nodeRef // descent stack
 
-	d0         int     // base-grid dimension (power of two)
-	nonEmpty   int     // non-empty base cells
-	invCS      float64 // 1 / cell size
-	gridOX     float64 // grid origin (sender bbox min corner)
-	gridOY     float64
-	haveCutoff bool
+	// Cell-shared first-pass buffers: per-cell receiver bounding boxes, the
+	// near-cell list of the cell being processed, and the flattened copies
+	// of its near-field senders (one contiguous kernel scan per member
+	// instead of one short call per near cell).
+	rminx, rmaxx  []float64
+	rminy, rmaxy  []float64
+	nearCells     []int32
+	fpx, fpy, fpw []float64
+
+	// grid is the scratch-owned slot structure, rebuilt (or refreshed from
+	// a retained grid) when the caller is not caching grids.
+	grid SlotGrid
 }
 
 type nodeRef struct{ level, x, y int32 }
@@ -343,12 +636,6 @@ func (sc *EngineScratch) reserve(m int) {
 		sc.sig = make([]float64, m)
 		sc.lb = make([]float64, m)
 		sc.ub = make([]float64, m)
-		sc.cellOf = make([]int32, m)
-		sc.posOf = make([]int32, m)
-		sc.members = make([]int32, m)
-		sc.cpx = make([]float64, m)
-		sc.cpy = make([]float64, m)
-		sc.cpw = make([]float64, m)
 		sc.near = make([]int32, m)
 		sc.cand = make([]int32, m)
 	}
@@ -356,10 +643,6 @@ func (sc *EngineScratch) reserve(m int) {
 	sc.qx, sc.qy = sc.qx[:m], sc.qy[:m]
 	sc.pw, sc.sig = sc.pw[:m], sc.sig[:m]
 	sc.lb, sc.ub = sc.lb[:m], sc.ub[:m]
-	sc.cellOf = sc.cellOf[:m]
-	sc.posOf = sc.posOf[:m]
-	sc.members = sc.members[:m]
-	sc.cpx, sc.cpy, sc.cpw = sc.cpx[:m], sc.cpy[:m], sc.cpw[:m]
 	sc.near = sc.near[:m]
 	sc.cand = sc.cand[:0]
 }
@@ -369,12 +652,23 @@ func (sc *EngineScratch) reserve(m int) {
 // (≈ (θ+1)/(θ−1) half-diagonals) times the mean occupancy of non-empty
 // cells. Used to stop the ladder when a tighter pass would cost more than
 // the exact row it is trying to avoid.
-func (sc *EngineScratch) refineCost(theta2 float64, m int) float64 {
+func (g *SlotGrid) refineCost(theta2 float64, m int) float64 {
 	theta := math.Sqrt(theta2)
 	r := 0.71*(theta+1)/(theta-1) + 1 // cell radius of the near field
 	cells := math.Pi * r * r
-	occ := float64(m) / float64(max(sc.nonEmpty, 1))
+	occ := float64(m) / float64(max(g.nonEmpty, 1))
 	return cells * occ
+}
+
+// slotHashes returns the SlotGrid reuse guards: FNV-1a over the global link
+// indices in slot order, and over the power bits in slot order.
+func slotHashes(idx []int, power []float64) (orderHash, powHash uint64) {
+	oh, ph := uint64(fnvOffset64), uint64(fnvOffset64)
+	for k, gi := range idx {
+		oh = (oh ^ uint64(gi)) * fnvPrime64
+		ph = (ph ^ math.Float64bits(power[k])) * fnvPrime64
+	}
+	return oh, ph
 }
 
 // MarginSlot returns the exact worst-case SINR margin (min over the slot's
@@ -384,37 +678,96 @@ func (sc *EngineScratch) refineCost(theta2 float64, m int) float64 {
 // accumulation order (≲1e-12 relative), with identical error conditions.
 // st accumulates work counters; both sc and st are caller-owned.
 func (e *Engine) MarginSlot(idx []int, power []float64, sc *EngineScratch, st *EngineStats) (float64, error) {
+	mg, _, _, err := e.MarginSlotGrid(idx, power, sc, st, nil, false)
+	return mg, err
+}
+
+// MarginSlotGrid is MarginSlot with persistent-grid plumbing. g, when
+// non-nil, is a grid previously returned by this method on the same Engine;
+// if its membership order matches the slot it is reused — directly when the
+// powers also match, via refreshFrom otherwise — skipping buildGrid. With
+// retain=true the grid used for this evaluation is returned for the caller
+// to cache: it is heap-owned, immutable from then on, and safe to share
+// across goroutines. With retain=false the returned grid is g itself on a
+// direct reuse and nil otherwise (the build lives in scratch). reused
+// reports that buildGrid was skipped thanks to g. Margins are bit-identical
+// across every combination of reuse, refresh and cold build.
+func (e *Engine) MarginSlotGrid(idx []int, power []float64, sc *EngineScratch, st *EngineStats, g *SlotGrid, retain bool) (margin float64, grid *SlotGrid, reused bool, err error) {
 	m := len(idx)
 	if m != len(power) {
-		return 0, fmt.Errorf("sinr: %d links but %d powers", m, len(power))
+		return 0, nil, false, fmt.Errorf("sinr: %d links but %d powers", m, len(power))
 	}
 	if m == 0 {
-		return math.Inf(1), nil
+		return math.Inf(1), nil, false, nil
 	}
 	sc.reserve(m)
-	for k, g := range idx {
+	for k, gi := range idx {
 		if power[k] <= 0 {
-			return 0, fmt.Errorf("sinr: non-positive power %g on link %d", power[k], k)
+			return 0, nil, false, fmt.Errorf("sinr: non-positive power %g on link %d", power[k], k)
 		}
-		if g < 0 || g >= len(e.links) {
-			return 0, fmt.Errorf("sinr: link index %d outside the engine's %d links", g, len(e.links))
+		if gi < 0 || gi >= len(e.links) {
+			return 0, nil, false, fmt.Errorf("sinr: link index %d outside the engine's %d links", gi, len(e.links))
 		}
-		l := e.links[g]
+		l := e.links[gi]
 		sc.px[k], sc.py[k] = l.S.X, l.S.Y
 		sc.qx[k], sc.qy[k] = l.R.X, l.R.Y
 		sc.pw[k] = power[k]
-		sc.sig[k] = power[k] / e.lenA[g]
+		sc.sig[k] = power[k] / e.lenA[gi]
 	}
 	st.Links += int64(m)
 	st.NaivePairs += int64(m) * int64(m-1)
-	if m <= engineExactCutoff || !e.buildGrid(sc, m) {
-		return e.exactAll(sc, m, st), nil
+	if m <= engineExactCutoff {
+		return e.exactAll(sc, m, st), nil, false, nil
+	}
+
+	// Resolve the slot structure: reuse the offered grid when the guards
+	// match, otherwise build — into scratch normally, or into a fresh
+	// heap grid when the caller retains it.
+	var use *SlotGrid
+	if g != nil && g.m() == m {
+		oh, ph := slotHashes(idx, power)
+		if g.orderHash == oh {
+			switch {
+			case g.powHash == ph:
+				use, grid, reused = g, g, true
+			case retain:
+				fresh := &SlotGrid{}
+				fresh.refreshFrom(g, sc.pw, ph)
+				use, grid, reused = fresh, fresh, true
+			default:
+				sc.grid.refreshFrom(g, sc.pw, ph)
+				use, reused = &sc.grid, true
+			}
+		}
+	}
+	if use == nil {
+		target := &sc.grid
+		if retain {
+			target = &SlotGrid{}
+		}
+		if !e.buildGrid(sc, target, m) {
+			return e.exactAll(sc, m, st), nil, false, nil
+		}
+		target.orderHash, target.powHash = slotHashes(idx, power)
+		use = target
+		if retain {
+			grid = target
+		}
 	}
 
 	// Tier 1 — coarse interval pass: a certified [lb, ub] margin interval
-	// per link at the widest θ.
-	for k := 0; k < m; k++ {
-		e.descend(sc, k, engineThetaLadder2[0], false, st)
+	// per link at the widest θ. Huge slots amortize the pyramid walk across
+	// each sender cell's members via the shared descent; smaller slots run
+	// the per-link descent in cell order (the grid's member order), so
+	// neighbors descend near-identical pyramid paths and the tree walk
+	// stays cache-resident. Each variant writes only per-k entries, so the
+	// pass is order-independent.
+	if m >= engineSharedPassMin {
+		e.descendShared(sc, use, engineThetaLadder2[0], st)
+	} else {
+		for _, mk := range use.members {
+			e.descend(sc, use, int(mk), engineThetaLadder2[0], false, st)
+		}
 	}
 	// Only links whose interval reaches below the smallest upper bound can
 	// attain the slot minimum.
@@ -424,11 +777,11 @@ func (e *Engine) MarginSlot(idx []int, power []float64, sc *EngineScratch, st *E
 	// tighter θ until the set is tiny or a pass would out-cost exact rows.
 	for rung := 1; rung < len(engineThetaLadder2) && len(cand) > engineRefineMin; rung++ {
 		th2 := engineThetaLadder2[rung]
-		if sc.refineCost(th2, m) >= float64(m-1)/2 {
+		if use.refineCost(th2, m) >= float64(m-1)/2 {
 			break
 		}
 		for _, k := range cand {
-			e.descend(sc, int(k), th2, true, st)
+			e.descend(sc, use, int(k), th2, true, st)
 		}
 		st.RefinedLinks += int64(len(cand))
 		next := e.candidates(sc, m)
@@ -462,9 +815,9 @@ func (e *Engine) MarginSlot(idx []int, power []float64, sc *EngineScratch, st *E
 	if !resolved {
 		// Defensive: interval arithmetic met a non-finite input the grid
 		// guards missed. The exact path is always well defined.
-		return e.exactAll(sc, m, st), nil
+		return e.exactAll(sc, m, st), grid, reused, nil
 	}
-	return worst, nil
+	return worst, grid, reused, nil
 }
 
 // candidates rebuilds the straddler set: members whose margin lower bound
@@ -501,13 +854,135 @@ func (e *Engine) exactOne(sc *EngineScratch, m, k int) float64 {
 	return sc.sig[k] / (e.p.Beta * intf)
 }
 
-// exactAll is the small-slot/degenerate path: exact margins for every link.
+// pairRow is one row segment of the symmetric exact-all kernel: it adds to
+// accJ the interference row j receives from partners [t0, t0+len(accT)),
+// and scatters into accT the term each partner's receiver gets from row j's
+// sender — the unordered pair (j, t) is enumerated once, with both directed
+// distances computed (the model is asymmetric: d(S_j,R_t) ≠ d(S_t,R_j)).
+// The two directions form independent dependency chains, so their divides
+// pipeline where the one-row-at-a-time loop stalls. Term expressions and
+// per-row accumulation order match the naive row sums exactly (the tiling
+// in exactAll delivers every row its partners in ascending index order), so
+// the symmetric path is bit-identical to per-row evaluation.
+func (e *Engine) pairRow(accJ float64, accT []float64, sc *EngineScratch, j, t0 int) float64 {
+	switch e.powMode {
+	case powAlpha3:
+		return pairRowA3(accJ, accT, sc.px, sc.py, sc.qx, sc.qy, sc.pw, j, t0)
+	case powAlpha2:
+		return pairRowA2(accJ, accT, sc.px, sc.py, sc.qx, sc.qy, sc.pw, j, t0)
+	case powAlpha4:
+		return pairRowA4(accJ, accT, sc.px, sc.py, sc.qx, sc.qy, sc.pw, j, t0)
+	}
+	return pairRowGeneric(accJ, accT, sc.px, sc.py, sc.qx, sc.qy, sc.pw, j, t0, e.alphaHalf)
+}
+
+// pairRowA3 is the α=3 symmetric kernel.
+func pairRowA3(accJ float64, accT []float64, px, py, qx, qy, pw []float64, j, t0 int) float64 {
+	sxj, syj := px[j], py[j]
+	rxj, ryj := qx[j], qy[j]
+	pwj := pw[j]
+	for i := range accT {
+		t := t0 + i
+		dx := px[t] - rxj
+		dy := py[t] - ryj
+		d2 := dx*dx + dy*dy
+		accJ += pw[t] / (d2 * math.Sqrt(d2))
+		ex := sxj - qx[t]
+		ey := syj - qy[t]
+		e2 := ex*ex + ey*ey
+		accT[i] += pwj / (e2 * math.Sqrt(e2))
+	}
+	return accJ
+}
+
+// pairRowA2 is the α=2 symmetric kernel.
+func pairRowA2(accJ float64, accT []float64, px, py, qx, qy, pw []float64, j, t0 int) float64 {
+	sxj, syj := px[j], py[j]
+	rxj, ryj := qx[j], qy[j]
+	pwj := pw[j]
+	for i := range accT {
+		t := t0 + i
+		dx := px[t] - rxj
+		dy := py[t] - ryj
+		accJ += pw[t] / (dx*dx + dy*dy)
+		ex := sxj - qx[t]
+		ey := syj - qy[t]
+		accT[i] += pwj / (ex*ex + ey*ey)
+	}
+	return accJ
+}
+
+// pairRowA4 is the α=4 symmetric kernel.
+func pairRowA4(accJ float64, accT []float64, px, py, qx, qy, pw []float64, j, t0 int) float64 {
+	sxj, syj := px[j], py[j]
+	rxj, ryj := qx[j], qy[j]
+	pwj := pw[j]
+	for i := range accT {
+		t := t0 + i
+		dx := px[t] - rxj
+		dy := py[t] - ryj
+		d2 := dx*dx + dy*dy
+		accJ += pw[t] / (d2 * d2)
+		ex := sxj - qx[t]
+		ey := syj - qy[t]
+		e2 := ex*ex + ey*ey
+		accT[i] += pwj / (e2 * e2)
+	}
+	return accJ
+}
+
+// pairRowGeneric is the fractional-exponent symmetric kernel.
+func pairRowGeneric(accJ float64, accT []float64, px, py, qx, qy, pw []float64, j, t0 int, alphaHalf float64) float64 {
+	sxj, syj := px[j], py[j]
+	rxj, ryj := qx[j], qy[j]
+	pwj := pw[j]
+	for i := range accT {
+		t := t0 + i
+		dx := px[t] - rxj
+		dy := py[t] - ryj
+		accJ += pw[t] / math.Pow(dx*dx+dy*dy, alphaHalf)
+		ex := sxj - qx[t]
+		ey := syj - qy[t]
+		accT[i] += pwj / math.Pow(ex*ex+ey*ey, alphaHalf)
+	}
+	return accJ
+}
+
+// exactAll is the small-slot/degenerate path: exact margins for every link,
+// via the symmetric tiled kernel — each unordered pair is enumerated once
+// per tile pair, with the forward term accumulated into the active row and
+// the reverse term scattered into the partner row's accumulator. The
+// triangular tile order (diagonal tile first, then the column above it,
+// ascending) delivers every row its partner terms in ascending index order,
+// which makes the accumulation — and therefore the returned margin — bit
+// for bit the same as the per-row naive order exactOne reproduces.
 func (e *Engine) exactAll(sc *EngineScratch, m int, st *EngineStats) float64 {
 	st.ExactLinks += int64(m)
 	st.ExactPairs += int64(m) * int64(m-1)
+	acc := sc.lb[:m] // lb doubles as the interference accumulator here
+	for k := range acc {
+		acc[k] = e.p.Noise
+	}
+	for jt := 0; jt < m; jt += exactTile {
+		jEnd := min(jt+exactTile, m)
+		for j := jt; j < jEnd; j++ {
+			acc[j] = e.pairRow(acc[j], acc[j+1:jEnd], sc, j, j+1)
+		}
+		for kt := jEnd; kt < m; kt += exactTile {
+			kEnd := min(kt+exactTile, m)
+			for j := jt; j < jEnd; j++ {
+				acc[j] = e.pairRow(acc[j], acc[kt:kEnd], sc, j, kt)
+			}
+		}
+	}
 	worst := math.Inf(1)
 	for k := 0; k < m; k++ {
-		if mg := e.exactOne(sc, m, k); mg < worst {
+		intf := acc[k]
+		mg := math.Inf(1)
+		if intf != 0 {
+			mg = sc.sig[k] / (e.p.Beta * intf)
+		}
+		if mg < worst {
 			worst = mg
 		}
 	}
@@ -515,23 +990,31 @@ func (e *Engine) exactAll(sc *EngineScratch, m int, st *EngineStats) float64 {
 }
 
 // gridDim returns the base-grid dimension for a slot of m senders: the
-// smallest power of two whose square is at least m/8 (≈8 senders per cell
-// on uniform inputs), clamped to [4, engineMaxGridDim]. Finer cells than
-// the old 32-per-cell target pay off twice under the adaptive ladder: the
-// coarse first pass touches few cells regardless, and the refined rungs —
-// whose near field grows as (θ−1)⁻² cells — keep each opened cell cheap.
+// smallest power of two whose square covers m at the target occupancy,
+// clamped to [4, engineMaxGridDim]. The occupancy target adapts to slot
+// size: ≈8 senders per cell keeps refined-ladder cells cheap on the small
+// and mid-size slots, while huge slots coarsen stepwise to 64 per cell —
+// the coarse first pass dominates there, its frontier shrinks ~4× per
+// halving of the base dimension, and the extra near-field pairs are
+// streamed by the batched kernels at a fraction of the traversal cost
+// while staying a vanishing fraction of m².
 func gridDim(m int) int {
+	occ := 8
+	if m >= 1<<13 {
+		occ = 16
+	}
 	d := 4
-	for d < engineMaxGridDim && d*d*8 < m {
+	for d < engineMaxGridDim && d*d*occ < m {
 		d <<= 1
 	}
 	return d
 }
 
 // buildGrid buckets the slot's senders into the base grid and builds the
-// pyramid bottom-up. It reports false when the sender extent is degenerate
-// or non-finite, in which case the caller falls back to the exact path.
-func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
+// pyramid bottom-up, writing the structure into g. It reports false when
+// the sender extent is degenerate or non-finite, in which case the caller
+// falls back to the exact path.
+func (e *Engine) buildGrid(sc *EngineScratch, g *SlotGrid, m int) bool {
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	for k := 0; k < m; k++ {
@@ -545,9 +1028,22 @@ func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
 		return false
 	}
 	d0 := gridDim(m)
-	sc.d0 = d0
-	sc.invCS = float64(d0) / ext
-	sc.gridOX, sc.gridOY = minX, minY
+	g.d0 = d0
+	g.invCS = float64(d0) / ext
+	g.gridOX, g.gridOY = minX, minY
+
+	if cap(g.cellOf) < m {
+		g.cellOf = make([]int32, m)
+		g.posOf = make([]int32, m)
+		g.members = make([]int32, m)
+		g.cpx = make([]float64, m)
+		g.cpy = make([]float64, m)
+		g.cpw = make([]float64, m)
+	}
+	g.cellOf = g.cellOf[:m]
+	g.posOf = g.posOf[:m]
+	g.members = g.members[:m]
+	g.cpx, g.cpy, g.cpw = g.cpx[:m], g.cpy[:m], g.cpw[:m]
 
 	// Pyramid layout: level 0 is the d0×d0 base; each higher level halves
 	// the dimension down to a single root node.
@@ -555,29 +1051,29 @@ func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
 	for d := d0; d > 1; d >>= 1 {
 		levels++
 	}
-	sc.levelOff = sc.levelOff[:0]
+	g.levelOff = g.levelOff[:0]
 	total := 0
 	for l, d := 0, d0; l < levels; l, d = l+1, d>>1 {
-		sc.levelOff = append(sc.levelOff, total)
+		g.levelOff = append(g.levelOff, total)
 		total += d * d
 	}
-	if cap(sc.nodes) < total {
-		sc.nodes = make([]engineNode, total)
+	if cap(g.nodes) < total {
+		g.nodes = make([]engineNode, total)
 	}
-	sc.nodes = sc.nodes[:total]
-	clear(sc.nodes)
-	if cap(sc.starts) < d0*d0+1 {
-		sc.starts = make([]int32, d0*d0+1)
+	g.nodes = g.nodes[:total]
+	clear(g.nodes)
+	if cap(g.starts) < d0*d0+1 {
+		g.starts = make([]int32, d0*d0+1)
 	}
-	sc.starts = sc.starts[:d0*d0+1]
-	clear(sc.starts)
+	g.starts = g.starts[:d0*d0+1]
+	clear(g.starts)
 
 	// Base cells: power mass, exact sender bounding boxes, CSR membership.
 	for k := 0; k < m; k++ {
-		cx := cellCoord(sc.px[k]-minX, sc.invCS, d0)
-		cy := cellCoord(sc.py[k]-minY, sc.invCS, d0)
-		sc.cellOf[k] = int32(cy*d0 + cx)
-		n := &sc.nodes[cy*d0+cx]
+		cx := cellCoord(sc.px[k]-minX, g.invCS, d0)
+		cy := cellCoord(sc.py[k]-minY, g.invCS, d0)
+		g.cellOf[k] = int32(cy*d0 + cx)
+		n := &g.nodes[cy*d0+cx]
 		if n.mass == 0 {
 			n.minX, n.maxX = sc.px[k], sc.px[k]
 			n.minY, n.maxY = sc.py[k], sc.py[k]
@@ -588,42 +1084,49 @@ func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
 			n.maxY = max(n.maxY, sc.py[k])
 		}
 		n.mass += sc.pw[k]
-		sc.starts[sc.cellOf[k]+1]++
+		g.starts[g.cellOf[k]+1]++
 	}
-	sc.nonEmpty = 0
+	g.nonEmpty = 0
 	for c := 0; c < d0*d0; c++ {
-		if sc.starts[c+1] > 0 {
-			sc.nonEmpty++
+		if g.starts[c+1] > 0 {
+			g.nonEmpty++
 		}
-		sc.starts[c+1] += sc.starts[c]
+		g.starts[c+1] += g.starts[c]
 	}
 	if cap(sc.fill) < d0*d0 {
 		sc.fill = make([]int32, d0*d0)
 	}
 	sc.fill = sc.fill[:d0*d0]
-	copy(sc.fill, sc.starts[:d0*d0])
+	copy(sc.fill, g.starts[:d0*d0])
 	for k := 0; k < m; k++ {
-		c := sc.cellOf[k]
+		c := g.cellOf[k]
 		t := sc.fill[c]
-		sc.members[t] = int32(k)
-		sc.posOf[k] = t
-		sc.cpx[t], sc.cpy[t], sc.cpw[t] = sc.px[k], sc.py[k], sc.pw[k]
+		g.members[t] = int32(k)
+		g.posOf[k] = t
+		g.cpx[t], g.cpy[t], g.cpw[t] = sc.px[k], sc.py[k], sc.pw[k]
 		sc.fill[c]++
 	}
 
-	// Upper levels: union of the four children.
+	// Upper levels: union of the four children, recording each node's
+	// child-occupancy mask as we go.
+	if cap(g.childMask) < total {
+		g.childMask = make([]uint8, total)
+	}
+	g.childMask = g.childMask[:total]
 	for l, d := 1, d0>>1; d >= 1; l, d = l+1, d>>1 {
-		off, coff := sc.levelOff[l], sc.levelOff[l-1]
+		off, coff := g.levelOff[l], g.levelOff[l-1]
 		cd := d << 1
 		for y := 0; y < d; y++ {
 			for x := 0; x < d; x++ {
-				n := &sc.nodes[off+y*d+x]
+				n := &g.nodes[off+y*d+x]
+				var mask uint8
 				for dy := 0; dy < 2; dy++ {
 					for dx := 0; dx < 2; dx++ {
-						ch := &sc.nodes[coff+(2*y+dy)*cd+(2*x+dx)]
+						ch := &g.nodes[coff+(2*y+dy)*cd+(2*x+dx)]
 						if ch.mass == 0 {
 							continue
 						}
+						mask |= 1 << (dy*2 + dx)
 						if n.mass == 0 {
 							*n = *ch
 						} else {
@@ -635,6 +1138,7 @@ func (e *Engine) buildGrid(sc *EngineScratch, m int) bool {
 						}
 					}
 				}
+				g.childMask[off+y*d+x] = mask
 			}
 		}
 	}
@@ -662,13 +1166,13 @@ func cellCoord(off, invCS float64, d0 int) int {
 // excluded wherever it lands (by position in exact cells, by mass
 // subtraction in aggregated nodes). It overwrites sc.lb[k], sc.ub[k] and
 // sc.near[k]; refined marks tighter-ladder passes for the work counters.
-func (e *Engine) descend(sc *EngineScratch, k int, theta2 float64, refined bool, st *EngineStats) {
-	d0 := sc.d0
-	top := len(sc.levelOff) - 1
-	selfCX := int32(int(sc.cellOf[k]) % d0)
-	selfCY := int32(int(sc.cellOf[k]) / d0)
+func (e *Engine) descend(sc *EngineScratch, g *SlotGrid, k int, theta2 float64, refined bool, st *EngineStats) {
+	d0 := g.d0
+	top := len(g.levelOff) - 1
+	selfCX := int32(int(g.cellOf[k]) % d0)
+	selfCY := int32(int(g.cellOf[k]) / d0)
 	qxk, qyk := sc.qx[k], sc.qy[k]
-	nodes, levelOff := sc.nodes, sc.levelOff
+	nodes, levelOff := g.nodes, g.levelOff
 	stack := sc.stack[:0]
 	var farNodes, nearPairs, nearCells int64
 
@@ -679,24 +1183,20 @@ func (e *Engine) descend(sc *EngineScratch, k int, theta2 float64, refined bool,
 		stack = stack[:len(stack)-1]
 		l := int(nr.level)
 		dim := d0 >> l
-		n := &nodes[levelOff[l]+int(nr.y)*dim+int(nr.x)]
+		ni := levelOff[l] + int(nr.y)*dim + int(nr.x)
+		n := &nodes[ni]
 		mass := n.mass
 		if selfCX>>nr.level == nr.x && selfCY>>nr.level == nr.y {
 			mass -= sc.pw[k]
 		}
 		// Squared distances from the receiver to the node's sender bbox:
-		// nearest point of the box, and farthest corner.
-		var dx, dy float64
-		if qxk < n.minX {
-			dx = n.minX - qxk
-		} else if qxk > n.maxX {
-			dx = qxk - n.maxX
-		}
-		if qyk < n.minY {
-			dy = n.minY - qyk
-		} else if qyk > n.maxY {
-			dy = qyk - n.maxY
-		}
+		// nearest point of the box, and farthest corner. The nearest-point
+		// offsets are computed branchlessly (max of the two signed gaps and
+		// zero — both gaps are negative inside the box), which the compiler
+		// lowers to float max instructions instead of unpredictable
+		// branches.
+		dx := max(n.minX-qxk, qxk-n.maxX, 0)
+		dy := max(n.minY-qyk, qyk-n.maxY, 0)
 		mind2 := dx*dx + dy*dy
 		fx := max(qxk-n.minX, n.maxX-qxk)
 		fy := max(qyk-n.minY, n.maxY-qyk)
@@ -704,8 +1204,19 @@ func (e *Engine) descend(sc *EngineScratch, k int, theta2 float64, refined bool,
 		if mind2 > 0 && maxd2 <= theta2*mind2 {
 			if mass > 0 {
 				farNodes++
-				lo += mass / e.powD2(maxd2)
-				hi += mass / e.powD2(mind2)
+				// One divide for both bounds: 1/(a·b) recovered into 1/a
+				// and 1/b by multiplication. A few ulps of slop land in
+				// the certified interval, where intervalPad absorbs them;
+				// a degenerate product falls back to the two divides.
+				a := e.powD2(maxd2)
+				b := e.powD2(mind2)
+				if inv := 1 / (a * b); inv > 0 && !math.IsInf(inv, 1) {
+					lo += mass * b * inv
+					hi += mass * a * inv
+				} else {
+					lo += mass / a
+					hi += mass / b
+				}
 			}
 			continue
 		}
@@ -714,30 +1225,28 @@ func (e *Engine) descend(sc *EngineScratch, k int, theta2 float64, refined bool,
 			// cell-ordered sender copies (contiguous) rather than gathering
 			// through the member indices.
 			c := int(nr.y)*d0 + int(nr.x)
-			t0, t1 := sc.starts[c], sc.starts[c+1]
+			t0, t1 := g.starts[c], g.starts[c+1]
 			nearCells++
-			if int32(c) == sc.cellOf[k] {
-				tk := sc.posOf[k]
-				exact = e.rowSum(exact, sc.cpx[t0:tk], sc.cpy[t0:tk], sc.cpw[t0:tk], qxk, qyk)
-				exact = e.rowSum(exact, sc.cpx[tk+1:t1], sc.cpy[tk+1:t1], sc.cpw[tk+1:t1], qxk, qyk)
+			if int32(c) == g.cellOf[k] {
+				tk := g.posOf[k]
+				exact = e.rowSumFast(exact, g.cpx[t0:tk], g.cpy[t0:tk], g.cpw[t0:tk], qxk, qyk)
+				exact = e.rowSumFast(exact, g.cpx[tk+1:t1], g.cpy[tk+1:t1], g.cpw[tk+1:t1], qxk, qyk)
 				nearPairs += int64(t1 - t0 - 1)
 			} else {
-				exact = e.rowSum(exact, sc.cpx[t0:t1], sc.cpy[t0:t1], sc.cpw[t0:t1], qxk, qyk)
+				exact = e.rowSumFast(exact, g.cpx[t0:t1], g.cpy[t0:t1], g.cpw[t0:t1], qxk, qyk)
 				nearPairs += int64(t1 - t0)
 			}
 			continue
 		}
-		// Open the node: push only the non-empty children, sparing the
-		// pop-and-discard round trip for empty quadrants.
+		// Open the node: push only the non-empty children, consulting the
+		// one-byte occupancy mask instead of probing four scattered child
+		// structs.
 		cx, cy := nr.x<<1, nr.y<<1
 		cl := nr.level - 1
-		cdim := d0 >> cl
-		coff := levelOff[cl]
-		for dy := int32(0); dy < 2; dy++ {
-			for dx := int32(0); dx < 2; dx++ {
-				if nodes[coff+int(cy+dy)*cdim+int(cx+dx)].mass != 0 {
-					stack = append(stack, nodeRef{cl, cx + dx, cy + dy})
-				}
+		mask := g.childMask[ni]
+		for i := uint8(0); i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				stack = append(stack, nodeRef{cl, cx + int32(i&1), cy + int32(i>>1)})
 			}
 		}
 	}
@@ -760,5 +1269,156 @@ func (e *Engine) descend(sc *EngineScratch, k int, theta2 float64, refined bool,
 		sc.ub[k] = math.Inf(1)
 	} else {
 		sc.ub[k] = sig / (e.p.Beta * iLo) * (1 + intervalPad)
+	}
+}
+
+// descendShared is the cell-amortized coarse first pass for huge slots: one
+// pyramid walk per non-empty sender cell instead of one per link. The
+// far/near classification uses the cell's receiver bounding box, so a node
+// accepted as far is far — and its aggregated [mass/maxdist^α,
+// mass/mindist^α] interval certified — for every receiver in the cell
+// simultaneously; the per-link cost drops to the exact near-field sums.
+// Ancestors of the cell itself are always opened (never aggregated), so the
+// members' own senders are excluded positionally in the base-cell sums
+// exactly as in the per-link descent, and no mass subtraction is needed.
+//
+// The shared bounds are wider than per-receiver ones by the receiver
+// spread, which only inflates the candidate set tier 2 then refines with
+// the precise per-link descent — certification, and with it the bit-exact
+// final margin, is unaffected. Writes sc.lb, sc.ub and sc.near for every
+// member.
+func (e *Engine) descendShared(sc *EngineScratch, g *SlotGrid, theta2 float64, st *EngineStats) {
+	d0 := g.d0
+	nc := d0 * d0
+	if cap(sc.rminx) < nc {
+		sc.rminx = make([]float64, nc)
+		sc.rmaxx = make([]float64, nc)
+		sc.rminy = make([]float64, nc)
+		sc.rmaxy = make([]float64, nc)
+	}
+	rminx, rmaxx := sc.rminx[:nc], sc.rmaxx[:nc]
+	rminy, rmaxy := sc.rminy[:nc], sc.rmaxy[:nc]
+	for c := 0; c < nc; c++ {
+		t0, t1 := g.starts[c], g.starts[c+1]
+		if t0 == t1 {
+			continue
+		}
+		k0 := int(g.members[t0])
+		rminx[c], rmaxx[c] = sc.qx[k0], sc.qx[k0]
+		rminy[c], rmaxy[c] = sc.qy[k0], sc.qy[k0]
+		for t := t0 + 1; t < t1; t++ {
+			k := int(g.members[t])
+			rminx[c] = min(rminx[c], sc.qx[k])
+			rmaxx[c] = max(rmaxx[c], sc.qx[k])
+			rminy[c] = min(rminy[c], sc.qy[k])
+			rmaxy[c] = max(rmaxy[c], sc.qy[k])
+		}
+	}
+
+	top := len(g.levelOff) - 1
+	nodes, levelOff := g.nodes, g.levelOff
+	for c := 0; c < nc; c++ {
+		t0, t1 := g.starts[c], g.starts[c+1]
+		if t0 == t1 {
+			continue
+		}
+		bminx, bmaxx := rminx[c], rmaxx[c]
+		bminy, bmaxy := rminy[c], rmaxy[c]
+		cCX, cCY := int32(c%d0), int32(c/d0)
+		stack := sc.stack[:0]
+		nearCells := sc.nearCells[:0]
+		var lo, hi float64
+		var farNodes int64
+		stack = append(stack, nodeRef{int32(top), 0, 0})
+		for len(stack) > 0 {
+			nr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			l := int(nr.level)
+			dim := d0 >> l
+			ni := levelOff[l] + int(nr.y)*dim + int(nr.x)
+			n := &nodes[ni]
+			// Min/max squared distance between the node's sender bbox and
+			// the cell's receiver bbox.
+			dx := max(n.minX-bmaxx, bminx-n.maxX, 0)
+			dy := max(n.minY-bmaxy, bminy-n.maxY, 0)
+			mind2 := dx*dx + dy*dy
+			fx := max(bmaxx-n.minX, n.maxX-bminx)
+			fy := max(bmaxy-n.minY, n.maxY-bminy)
+			maxd2 := fx*fx + fy*fy
+			// Ancestors of the home cell hold the members' own senders;
+			// always open them so self-exclusion stays positional.
+			if !(cCX>>nr.level == nr.x && cCY>>nr.level == nr.y) &&
+				mind2 > 0 && maxd2 <= theta2*mind2 {
+				if mass := n.mass; mass > 0 {
+					farNodes++
+					a := e.powD2(maxd2)
+					b := e.powD2(mind2)
+					if inv := 1 / (a * b); inv > 0 && !math.IsInf(inv, 1) {
+						lo += mass * b * inv
+						hi += mass * a * inv
+					} else {
+						lo += mass / a
+						hi += mass / b
+					}
+				}
+				continue
+			}
+			if l == 0 {
+				nearCells = append(nearCells, int32(int(nr.y)*d0+int(nr.x)))
+				continue
+			}
+			cx, cy := nr.x<<1, nr.y<<1
+			cl := nr.level - 1
+			mask := g.childMask[ni]
+			for i := uint8(0); i < 4; i++ {
+				if mask&(1<<i) != 0 {
+					stack = append(stack, nodeRef{cl, cx + int32(i&1), cy + int32(i>>1)})
+				}
+			}
+		}
+		sc.stack = stack
+		sc.nearCells = nearCells
+		st.FarNodes += farNodes
+
+		// Flatten the near cells' sender copies into one contiguous run;
+		// every member of the home cell then scans a single SoA stretch
+		// (split around its own sender) instead of a dozen short cell
+		// segments. The copy is paid once per cell and amortized over its
+		// members.
+		fpx, fpy, fpw := sc.fpx[:0], sc.fpy[:0], sc.fpw[:0]
+		homeOff := 0
+		for _, bc := range nearCells {
+			b0, b1 := g.starts[bc], g.starts[bc+1]
+			if int(bc) == c {
+				homeOff = len(fpx)
+			}
+			fpx = append(fpx, g.cpx[b0:b1]...)
+			fpy = append(fpy, g.cpy[b0:b1]...)
+			fpw = append(fpw, g.cpw[b0:b1]...)
+		}
+		sc.fpx, sc.fpy, sc.fpw = fpx, fpy, fpw
+		basePairs := int64(len(fpx))
+		for t := t0; t < t1; t++ {
+			k := int(g.members[t])
+			qxk, qyk := sc.qx[k], sc.qy[k]
+			sp := homeOff + int(g.posOf[k]-t0)
+			exact := e.rowSumFast(0, fpx[:sp], fpy[:sp], fpw[:sp], qxk, qyk)
+			exact = e.rowSumFast(exact, fpx[sp+1:], fpy[sp+1:], fpw[sp+1:], qxk, qyk)
+			sc.near[k] = int32(basePairs - 1)
+
+			iLo := exact + lo + e.p.Noise
+			iHi := exact + hi + e.p.Noise
+			sig := sc.sig[k]
+			if iHi == 0 {
+				sc.lb[k], sc.ub[k] = math.Inf(1), math.Inf(1)
+				continue
+			}
+			sc.lb[k] = sig / (e.p.Beta * iHi) * (1 - intervalPad)
+			if iLo == 0 {
+				sc.ub[k] = math.Inf(1)
+			} else {
+				sc.ub[k] = sig / (e.p.Beta * iLo) * (1 + intervalPad)
+			}
+		}
 	}
 }

@@ -4,10 +4,14 @@
 # Guards the scheduling and verification hot paths: fails when, at the probe
 # size (the largest measured n present in the baseline, n=20000 as checked
 # in), the measured greedy pipeline_sec, build_sec, or verify_sec exceeds
-# MAX_RATIO (default 1.5) times the checked-in baseline — and, independently
-# of the baseline, when the fast verify engine's exact_pairs_frac exceeds
-# 0.05 at the probe size, or when the probe instance escalated γ without the
-# retry being served from the lookahead filter scan (build_reused). The
+# MAX_RATIO (default 1.5) times the checked-in baseline; when the run-level
+# kernel_ns_per_pair (the symmetric near-field kernel micro-measurement)
+# exceeds MAX_RATIO times the baseline's — and, independently of the
+# baseline, when the fast verify engine's exact_pairs_frac exceeds 0.05 at
+# the probe size, when the probe instance escalated γ without the retry
+# being served from the lookahead filter scan (build_reused), or when the
+# probe's grid-warm re-verify reports verify_grid_reused == 0 (the
+# persistent slot structures stopped being reused). The
 # fraction gate is hardware-independent: it measures how
 # much of the naive O(m²) pairwise work the engine performed, so a blown
 # far-field bound or broken refinement ladder trips it even on a fast
@@ -37,15 +41,16 @@ MAX_EXACT_PAIRS_FRAC = 0.05
 def greedy_rows(path):
     with open(path) as f:
         report = json.load(f)
+    run = report["runs"][0]
     out = {}
-    for entry in report["runs"][0]["entries"]:
+    for entry in run["entries"]:
         for algo in entry["algos"]:
             if algo["algo"] == "greedy":
                 out[entry["n"]] = algo
-    return out
+    return out, run.get("kernel_ns_per_pair", 0.0)
 
-base = greedy_rows(baseline_path)
-meas = greedy_rows(measured_path)
+base, base_kernel = greedy_rows(baseline_path)
+meas, meas_kernel = greedy_rows(measured_path)
 if not base:
     sys.exit(f"{baseline_path}: no greedy entries")
 n = max((n for n in base if n in meas), default=None)
@@ -73,6 +78,29 @@ if retries >= 1 and not reused:
     failures.append(
         "lookahead regression: the escalating probe instance rebuilt its "
         "conflict graph from scratch instead of filtering the lookahead build")
+
+# Kernel gate: a run-level micro-measurement of the symmetric near-field
+# kernel, free of slot-structure and cache effects — a lost unroll or a
+# reintroduced per-pair math.Pow shows up here even when structure reuse
+# hides it from verify_sec.
+if base_kernel > 0 and meas_kernel > 0:
+    ratio = meas_kernel / base_kernel
+    print(f"kernel_ns_per_pair {meas_kernel:.3f} vs baseline {base_kernel:.3f} -> {ratio:.2f}x (limit {max_ratio}x)")
+    if ratio > max_ratio:
+        failures.append(
+            f"kernel regression: {ratio:.2f}x exceeds the {max_ratio}x budget")
+else:
+    print(f"kernel_ns_per_pair: baseline {base_kernel}, measured {meas_kernel}; skipping the kernel gate")
+
+# Persistent-slot-structure gate: the probe's grid-warm re-verify drops the
+# cached margins but keeps the built slot structures; zero reused grids
+# means every re-verified slot paid buildGrid again.
+grid_reused = meas[n].get("verify_grid_reused", 0)
+print(f"greedy n={n}: verify_grid_reused {grid_reused}")
+if meas[n].get("verify_grid_warm_sec", 0.0) > 0 and grid_reused == 0:
+    failures.append(
+        "slot-structure regression: the grid-warm re-verify rebuilt every "
+        "slot grid instead of reusing the cached structures")
 
 frac = meas[n].get("exact_pairs_frac", 0.0)
 print(f"greedy n={n}: exact_pairs_frac {frac:.4g} (limit {MAX_EXACT_PAIRS_FRAC})")
