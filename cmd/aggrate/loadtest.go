@@ -89,17 +89,28 @@ type LoadReport struct {
 	InstanceCacheMisses  int64            `json:"instance_cache_misses"`
 	InstanceCacheHitRate float64          `json:"instance_cache_hit_rate"`
 	InstanceCacheCurve   []InstCachePoint `json:"instance_cache_curve,omitempty"`
+
+	// Pre-power schedule-stage cache telemetry, sampled from the same
+	// /metrics scrapes: stage builds (ordering+coloring+schedule skeleton)
+	// reused across power-scheme variants and γ rungs of one deployment.
+	// Run-delta totals, like the instance-cache numbers above.
+	SchedCacheHits    int64   `json:"sched_cache_hits"`
+	SchedCacheMisses  int64   `json:"sched_cache_misses"`
+	SchedCacheHitRate float64 `json:"sched_cache_hit_rate"`
 }
 
 // InstCachePoint is one /metrics sample of the instance cache: cumulative
-// hit/miss deltas since the run started, the interval's delta hit rate, and
-// the entry gauge at sample time.
+// hit/miss deltas since the run started, the interval's delta hit rate, the
+// entry gauge at sample time, and the schedule-stage cache's counter deltas
+// riding along from the same scrape.
 type InstCachePoint struct {
-	T       int     `json:"t"`
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
-	Entries int     `json:"entries"`
+	T           int     `json:"t"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Entries     int     `json:"entries"`
+	SchedHits   int64   `json:"sched_hits"`
+	SchedMisses int64   `json:"sched_misses"`
 }
 
 // CurvePoint is one second of the timeline.
@@ -362,17 +373,27 @@ func buildReport(addr string, st *ltStats, start time.Time, elapsed float64, cli
 	return rep
 }
 
-// ltScrapeInstanceCache reads the instance-cache counters and entry gauge
-// from one /metrics scrape. A failed scrape or a server without the series
-// (pre-instance-cache build, --instance-cache -1) reports ok=false.
-func ltScrapeInstanceCache(httpc *http.Client, base string) (hits, misses int64, entries int, ok bool) {
+// ltInstScrape is one /metrics reading of the two stage-split caches: the
+// instance (deployment) cache counters and entry gauge, and the pre-power
+// schedule-stage cache counters.
+type ltInstScrape struct {
+	hits, misses           int64
+	entries                int
+	schedHits, schedMisses int64
+	ok                     bool
+}
+
+// ltScrapeInstanceCache reads the instance-cache and schedule-stage-cache
+// counters from one /metrics scrape. A failed scrape or a server without the
+// series (pre-instance-cache build, --instance-cache -1) reports ok=false.
+func ltScrapeInstanceCache(httpc *http.Client, base string) (s ltInstScrape) {
 	resp, err := httpc.Get(base + "/metrics")
 	if err != nil {
-		return 0, 0, 0, false
+		return s
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, 0, 0, false
+		return s
 	}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
@@ -384,19 +405,27 @@ func ltScrapeInstanceCache(httpc *http.Client, base string) (hits, misses int64,
 		switch name {
 		case "aggrate_instance_cache_hits_total":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
-				hits, ok = v, true
+				s.hits, s.ok = v, true
 			}
 		case "aggrate_instance_cache_misses_total":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
-				misses, ok = v, true
+				s.misses, s.ok = v, true
 			}
 		case "aggrate_instance_cache_entries":
 			if v, err := strconv.Atoi(val); err == nil {
-				entries = v
+				s.entries = v
+			}
+		case "aggrate_sched_cache_hits_total":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				s.schedHits = v
+			}
+		case "aggrate_sched_cache_misses_total":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				s.schedMisses = v
 			}
 		}
 	}
-	return hits, misses, entries, ok
+	return s
 }
 
 // ltSampleInstanceCache polls /metrics once per second until stop closes,
@@ -405,23 +434,25 @@ func ltScrapeInstanceCache(httpc *http.Client, base string) (hits, misses int64,
 // The collected samples are delivered on out exactly once.
 func ltSampleInstanceCache(httpc *http.Client, base string, start time.Time, stop <-chan struct{}, out chan<- []InstCachePoint) {
 	var pts []InstCachePoint
-	var baseHits, baseMisses int64
+	var base0 ltInstScrape
 	baselined := false
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
 	sample := func() {
-		hits, misses, entries, ok := ltScrapeInstanceCache(httpc, base)
-		if !ok {
+		s := ltScrapeInstanceCache(httpc, base)
+		if !s.ok {
 			return
 		}
 		if !baselined {
-			baseHits, baseMisses, baselined = hits, misses, true
+			base0, baselined = s, true
 		}
 		pts = append(pts, InstCachePoint{
-			T:       int(time.Since(start).Seconds()),
-			Hits:    hits - baseHits,
-			Misses:  misses - baseMisses,
-			Entries: entries,
+			T:           int(time.Since(start).Seconds()),
+			Hits:        s.hits - base0.hits,
+			Misses:      s.misses - base0.misses,
+			Entries:     s.entries,
+			SchedHits:   s.schedHits - base0.schedHits,
+			SchedMisses: s.schedMisses - base0.schedMisses,
 		})
 	}
 	sample() // t=0 baseline
@@ -460,6 +491,11 @@ func attachInstanceCacheCurve(rep *LoadReport, pts []InstCachePoint) {
 	rep.InstanceCacheMisses = last.Misses
 	if total := last.Hits + last.Misses; total > 0 {
 		rep.InstanceCacheHitRate = float64(last.Hits) / float64(total)
+	}
+	rep.SchedCacheHits = last.SchedHits
+	rep.SchedCacheMisses = last.SchedMisses
+	if total := last.SchedHits + last.SchedMisses; total > 0 {
+		rep.SchedCacheHitRate = float64(last.SchedHits) / float64(total)
 	}
 	rep.InstanceCacheCurve = pts
 }

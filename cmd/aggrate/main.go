@@ -19,7 +19,8 @@
 //	                  traffic and write BENCH_serve.json
 //
 // run and bench accept --cpuprofile/--memprofile to write pprof profiles of
-// the exercised pipeline, and --timeout to bound the batch wall clock. A
+// the exercised pipeline, --trace to capture a runtime/trace execution
+// trace over the same window, and --timeout to bound the batch wall clock. A
 // SIGINT (or an expired --timeout) cancels the engine mid-flight and
 // flushes every completed result instead of discarding the batch.
 //
@@ -50,6 +51,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"slices"
 	"strconv"
 	"strings"
@@ -133,22 +135,28 @@ func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
 	return fs
 }
 
-// profileFlags registers the pprof flags shared by run and bench; start
-// begins the requested profiles and returns the function that stops the CPU
-// profile and writes the heap profile. Both paths are optional and
-// independent.
+// profileFlags registers the pprof and execution-trace flags shared by run
+// and bench; start begins the requested profiles and returns the function
+// that stops the CPU profile and the trace and writes the heap profile. All
+// three paths are optional and independent. CPU profiling and execution
+// tracing are mutually exclusive in the runtime (tracing also samples the
+// CPU profiler's signal), so requesting both is rejected up front.
 type profileFlags struct {
-	cpu, mem *string
+	cpu, mem, trace *string
 }
 
 func addProfileFlags(fs *flag.FlagSet) *profileFlags {
 	return &profileFlags{
-		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
-		mem: fs.String("memprofile", "", "write a heap profile to this file on exit"),
+		cpu:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem:   fs.String("memprofile", "", "write a heap profile to this file on exit"),
+		trace: fs.String("trace", "", "write a runtime execution trace to this file (view with 'go tool trace'); excludes --cpuprofile"),
 	}
 }
 
 func (pf *profileFlags) start() (stop func() error, err error) {
+	if *pf.cpu != "" && *pf.trace != "" {
+		return nil, fmt.Errorf("--cpuprofile and --trace are mutually exclusive")
+	}
 	var cpuFile *os.File
 	if *pf.cpu != "" {
 		cpuFile, err = os.Create(*pf.cpu)
@@ -160,11 +168,28 @@ func (pf *profileFlags) start() (stop func() error, err error) {
 			return nil, fmt.Errorf("--cpuprofile: %w", err)
 		}
 	}
+	var traceFile *os.File
+	if *pf.trace != "" {
+		traceFile, err = os.Create(*pf.trace)
+		if err != nil {
+			return nil, fmt.Errorf("--trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			return nil, fmt.Errorf("--trace: %w", err)
+		}
+	}
 	memPath := *pf.mem
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
 				return err
 			}
 		}
@@ -643,12 +668,21 @@ type AlgoBench struct {
 	// BuildReused records that at least one retry was so served.
 	BuildFilterSec float64 `json:"build_filter_sec,omitempty"`
 	BuildReused    bool    `json:"build_reused,omitempty"`
-	OrderSec       float64 `json:"order_sec"`
-	ColorSec       float64 `json:"color_sec"`
-	GammaRetries   int     `json:"gamma_retries"`
-	Verified       bool    `json:"verified"`
-	VerifySec      float64 `json:"verify_sec"`
-	ExactPairsFrac float64 `json:"exact_pairs_frac"`
+	// Conflict-build pruning counters (summed over γ escalations, from
+	// Timings): cells streamed vs rejected whole by the per-cell screen,
+	// candidates distance-tested vs edges accepted. The scanned/accepted
+	// ratio is hardware-independent, so the regression gate can hold the
+	// build's candidate efficiency without wall-clock noise.
+	BuildCellsScanned int64   `json:"build_cells_scanned,omitempty"`
+	BuildCellsPruned  int64   `json:"build_cells_pruned,omitempty"`
+	BuildCandScanned  int64   `json:"build_cand_scanned,omitempty"`
+	BuildCandAccepted int64   `json:"build_cand_accepted,omitempty"`
+	OrderSec          float64 `json:"order_sec"`
+	ColorSec          float64 `json:"color_sec"`
+	GammaRetries      int     `json:"gamma_retries"`
+	Verified          bool    `json:"verified"`
+	VerifySec         float64 `json:"verify_sec"`
+	ExactPairsFrac    float64 `json:"exact_pairs_frac"`
 	// VerifyWarmSec times a second verification of the same schedule through
 	// the pipeline's incremental cache (every unchanged slot answers from its
 	// cached exact margin); VerifyReusedSlots counts the slots so answered,
@@ -855,19 +889,23 @@ func benchRun(ctx context.Context, sc scenario.Spec, nList []int, algoList []str
 				return run, fmt.Errorf("bench pipeline algo=%s n=%d: %w", algo, n, err)
 			}
 			ab := AlgoBench{
-				Algo:             algo,
-				Colors:           res.Colors,
-				ScheduleLength:   res.ScheduleLength,
-				Rate:             res.Rate,
-				ColorsPerLogStar: res.ColorsPerLogStar,
-				PipelineSec:      sec,
-				BuildSec:         res.Timings.BuildSec,
-				BuildFilterSec:   res.Timings.BuildFilterSec,
-				BuildReused:      res.Timings.BuildReused,
-				OrderSec:         res.Timings.OrderSec,
-				ColorSec:         res.Timings.ColorSec,
-				GammaRetries:     res.GammaRetries,
-				Verified:         res.Verified,
+				Algo:              algo,
+				Colors:            res.Colors,
+				ScheduleLength:    res.ScheduleLength,
+				Rate:              res.Rate,
+				ColorsPerLogStar:  res.ColorsPerLogStar,
+				PipelineSec:       sec,
+				BuildSec:          res.Timings.BuildSec,
+				BuildFilterSec:    res.Timings.BuildFilterSec,
+				BuildReused:       res.Timings.BuildReused,
+				BuildCellsScanned: res.Timings.BuildCellsScanned,
+				BuildCellsPruned:  res.Timings.BuildCellsPruned,
+				BuildCandScanned:  res.Timings.BuildCandScanned,
+				BuildCandAccepted: res.Timings.BuildCandAccepted,
+				OrderSec:          res.Timings.OrderSec,
+				ColorSec:          res.Timings.ColorSec,
+				GammaRetries:      res.GammaRetries,
+				Verified:          res.Verified,
 			}
 			// Verification split: time the selected engine re-verifying the
 			// final schedule (so gamma escalations don't muddy the number),

@@ -144,6 +144,48 @@ type Graph struct {
 	// was built for (see Family and BuildLookaheadCtx). Only strength-
 	// annotated builds populate it; plain Build leaves it nil.
 	Strengths []float64
+	// Stats counts the candidate-pruning work of the bucketed build that
+	// produced the graph; zero for naive or test-constructed graphs.
+	// FilterCtx propagates it, so filtered lookahead graphs report the
+	// annotated build's counters.
+	Stats BuildStats
+}
+
+// BuildStats counts the bucketed candidate search's pruning effectiveness.
+// The counters are deterministic in the input (scan order does not change
+// which cells are pruned or which candidates are tested), so they double as
+// a hardware-independent regression signal: CandScanned/CandAccepted is the
+// distance-tested candidates the build paid per accepted edge.
+type BuildStats struct {
+	// CellsScanned counts candidate cells whose member lists were streamed.
+	CellsScanned int64
+	// CellsPruned counts candidate cells rejected whole by the per-cell
+	// endpoint-bbox rect-distance prune before any member was loaded.
+	CellsPruned int64
+	// CandScanned counts member candidates distance-tested across all
+	// scanned cells (duplicates via a second cell included, as tested).
+	CandScanned int64
+	// CandAccepted counts accepted undirected edges (== Edges()).
+	CandAccepted int64
+}
+
+// Add accumulates another build's counters into s — strategies that build
+// several graphs (per-class builds, escalation attempts) aggregate with it.
+func (s *BuildStats) Add(o BuildStats) {
+	s.CellsScanned += o.CellsScanned
+	s.CellsPruned += o.CellsPruned
+	s.CandScanned += o.CandScanned
+	s.CandAccepted += o.CandAccepted
+}
+
+// CandRatio returns CandScanned/CandAccepted — the mean number of
+// distance-tested candidates per accepted edge (0 for an edgeless or
+// naive-built graph). Lower is tighter pruning.
+func (s BuildStats) CandRatio() float64 {
+	if s.CandAccepted == 0 {
+		return 0
+	}
+	return float64(s.CandScanned) / float64(s.CandAccepted)
 }
 
 // edge is one undirected edge, owned by the discovering endpoint.
@@ -204,20 +246,12 @@ func fromEdges(links []geom.Link, f Func, edges []edge, qs []float64, sortRows b
 	return g
 }
 
-// neighborQ pairs one directed CSR entry with its strength, for the co-sort
-// of strength-annotated rows.
-type neighborQ struct {
-	j int32
-	q float64
-}
-
 // sortRowsWithStrengths sorts every adjacency row ascending, permuting the
 // parallel Strengths entries in lockstep, so annotated rows keep the same
 // neighbor order as plain builds.
 func sortRowsWithStrengths(g *Graph) {
 	n := g.N()
 	par.ForBlocks(n, 256, func(next func() (int, int, bool)) {
-		var scratch []neighborQ
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for i := lo; i < hi; i++ {
 				row := g.Row(i)
@@ -225,16 +259,17 @@ func sortRowsWithStrengths(g *Graph) {
 					continue
 				}
 				qrow := g.Strengths[g.RowPtr[i]:g.RowPtr[i+1]]
-				scratch = scratch[:0]
-				for k, j := range row {
-					scratch = append(scratch, neighborQ{j, qrow[k]})
-				}
-				slices.SortFunc(scratch, func(a, b neighborQ) int {
-					return cmp.Compare(a.j, b.j)
-				})
-				for k, p := range scratch {
-					row[k] = p.j
-					qrow[k] = p.q
+				// Rows are short (mean degree ≈ 2f(1)²+o(1) in the paper's
+				// regimes): an in-place lockstep insertion sort beats the
+				// generic sort's closure dispatch and scratch copies.
+				for k := 1; k < len(row); k++ {
+					j, q := row[k], qrow[k]
+					t := k - 1
+					for t >= 0 && row[t] > j {
+						row[t+1], qrow[t+1] = row[t], qrow[t]
+						t--
+					}
+					row[t+1], qrow[t+1] = j, q
 				}
 			}
 		}
@@ -344,6 +379,19 @@ type classGrid struct {
 	// are members[start[s]:start[s+1]], in increasing link order.
 	start   []int32
 	members []int32
+	// Cell-local SoA mirror, aligned with members: the endpoints and length
+	// of link members[k] at msx[k]/msy[k]/mrx[k]/mry[k]/mlen[k], so scanCell
+	// streams one contiguous block per cell instead of gather-loading five
+	// arrays through members.
+	msx, msy, mrx, mry, mlen []float64
+	// cellIdx maps an occupied slot to its compact cell index in [0, slots).
+	cellIdx []int32
+	// Per-cell pruning metadata, compact-indexed by cellIdx: the bounding
+	// box of the endpoints stored in the cell (tighter than the cell
+	// rectangle) and the min/max member length (tightens the search radius
+	// below the class-wide bound).
+	bbMinX, bbMaxX, bbMinY, bbMaxY []float64
+	cMinL, cMaxL                   []float64
 	// fillTmp is the scatter cursor used only while buildBucketed packs
 	// members; nil afterwards.
 	fillTmp []int32
@@ -374,6 +422,7 @@ func (cg *classGrid) insertSlot(x, y int64) int {
 		if !cg.full[h] {
 			cg.full[h] = true
 			cg.keyX[h], cg.keyY[h] = x, y
+			cg.cellIdx[h] = int32(cg.slots)
 			cg.slots++
 			return int(h)
 		}
@@ -384,16 +433,16 @@ func (cg *classGrid) insertSlot(x, y int64) int {
 	}
 }
 
-// cellAt returns the member list of cell (x, y), nil when the cell is empty.
-func (cg *classGrid) cellAt(x, y int64) []int32 {
+// slotAt returns the table slot of cell (x, y), -1 when the cell is empty.
+func (cg *classGrid) slotAt(x, y int64) int {
 	h := cellHash(x, y) & cg.mask
 	for cg.full[h] {
 		if cg.keyX[h] == x && cg.keyY[h] == y {
-			return cg.members[cg.start[h]:cg.start[h+1]]
+			return int(h)
 		}
 		h = (h + 1) & cg.mask
 	}
-	return nil
+	return -1
 }
 
 func (cg *classGrid) extend(x, y int64) {
@@ -632,6 +681,7 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func, h func(float6
 		cg.keyY = make([]int64, capSlots)
 		cg.full = make([]bool, capSlots)
 		cg.start = make([]int32, capSlots+1)
+		cg.cellIdx = make([]int32, capSlots)
 	}
 	// Insert pass: claim slots and count per-cell members (into start[s+1],
 	// ready for the prefix sum), then scatter link indices. A link whose two
@@ -661,23 +711,68 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func, h func(float6
 		for s := 0; s < len(cg.full); s++ {
 			cg.start[s+1] += cg.start[s]
 		}
-		cg.members = make([]int32, cg.start[len(cg.full)])
+		nm := int(cg.start[len(cg.full)])
+		cg.members = make([]int32, nm)
+		cg.msx = make([]float64, nm)
+		cg.msy = make([]float64, nm)
+		cg.mrx = make([]float64, nm)
+		cg.mry = make([]float64, nm)
+		cg.mlen = make([]float64, nm)
+		cg.bbMinX = make([]float64, cg.slots)
+		cg.bbMaxX = make([]float64, cg.slots)
+		cg.bbMinY = make([]float64, cg.slots)
+		cg.bbMaxY = make([]float64, cg.slots)
+		cg.cMinL = make([]float64, cg.slots)
+		cg.cMaxL = make([]float64, cg.slots)
+		for c := 0; c < cg.slots; c++ {
+			cg.bbMinX[c], cg.bbMaxX[c] = math.Inf(1), math.Inf(-1)
+			cg.bbMinY[c], cg.bbMaxY[c] = math.Inf(1), math.Inf(-1)
+			cg.cMinL[c], cg.cMaxL[c] = math.Inf(1), 0
+		}
 	}
-	// Scatter, each class advancing its own copy of the start offsets.
+	// Scatter, each class advancing its own copy of the start offsets. The
+	// same pass fills the cell-local SoA mirrors and folds each stored
+	// occurrence into its cell's pruning metadata: the endpoint bbox grows by
+	// the endpoint(s) that actually lie in the cell (the other endpoint is
+	// indexed — and found — through its own cell), and the member-length
+	// extremes grow by the link length.
 	for _, cg := range grids {
 		if cg == nil {
 			continue
 		}
 		cg.fillTmp = append([]int32(nil), cg.start[:len(cg.full)]...)
 	}
+	extendCell := func(cg *classGrid, ci int32, x, y, le float64) {
+		cg.bbMinX[ci] = math.Min(cg.bbMinX[ci], x)
+		cg.bbMaxX[ci] = math.Max(cg.bbMaxX[ci], x)
+		cg.bbMinY[ci] = math.Min(cg.bbMinY[ci], y)
+		cg.bbMaxY[ci] = math.Max(cg.bbMaxY[ci], y)
+		cg.cMinL[ci] = math.Min(cg.cMinL[ci], le)
+		cg.cMaxL[ci] = math.Max(cg.cMaxL[ci], le)
+	}
 	for i := 0; i < n; i++ {
 		cg := grids[class[i]]
 		s := slotS[i]
-		cg.members[cg.fillTmp[s]] = int32(i)
+		p := cg.fillTmp[s]
 		cg.fillTmp[s]++
+		cg.members[p] = int32(i)
+		cg.msx[p], cg.msy[p] = sxs[i], sys[i]
+		cg.mrx[p], cg.mry[p] = rxs[i], rys[i]
+		cg.mlen[p] = lens[i]
+		ci := cg.cellIdx[s]
+		extendCell(cg, ci, sxs[i], sys[i], lens[i])
 		if r := slotR[i]; r >= 0 {
-			cg.members[cg.fillTmp[r]] = int32(i)
+			p = cg.fillTmp[r]
 			cg.fillTmp[r]++
+			cg.members[p] = int32(i)
+			cg.msx[p], cg.msy[p] = sxs[i], sys[i]
+			cg.mrx[p], cg.mry[p] = rxs[i], rys[i]
+			cg.mlen[p] = lens[i]
+			extendCell(cg, cg.cellIdx[r], rxs[i], rys[i], lens[i])
+		} else {
+			// Both endpoints share the cell: the edge to any candidate can
+			// only be discovered here, so the bbox must cover both.
+			extendCell(cg, ci, rxs[i], rys[i], lens[i])
 		}
 	}
 	for _, cg := range grids {
@@ -699,6 +794,7 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func, h func(float6
 	var mu sync.Mutex
 	var bufs []*[]edge
 	var qbufs []*[]float64 // index-aligned with bufs when annotating
+	var stats BuildStats
 	defer func() {
 		for _, b := range bufs {
 			edgeBufPool.Put(b)
@@ -729,12 +825,13 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func, h func(float6
 		// just resumes normal append growth.
 		seen, grown := 0, false
 		share := n/max(runtime.GOMAXPROCS(0), 1) + 1
+		var wst BuildStats
 		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
 			for i := lo; i < hi; i++ {
 				if h != nil {
-					bs.searchLink(int32(i), stamp, &buf, &qbuf)
+					bs.searchLink(int32(i), stamp, &buf, &qbuf, &wst)
 				} else {
-					bs.searchLink(int32(i), stamp, &buf, nil)
+					bs.searchLink(int32(i), stamp, &buf, nil, &wst)
 				}
 			}
 			seen += hi - lo
@@ -760,6 +857,7 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func, h func(float6
 			*qbufp = qbuf
 			qbufs = append(qbufs, qbufp)
 		}
+		stats.Add(wst)
 		mu.Unlock()
 	})
 	if err != nil {
@@ -809,7 +907,9 @@ func buildBucketed(ctx context.Context, links []geom.Link, f Func, h func(float6
 		// build must still mark the graph filterable (non-nil Strengths).
 		qs = []float64{}
 	}
-	return fromEdges(links, f, edges, qs, true), nil
+	g := fromEdges(links, f, edges, qs, true)
+	g.Stats = stats
+	return g, nil
 }
 
 // bucketedSearch carries the read-only state of one bucketed candidate
@@ -861,7 +961,8 @@ func cellNear(cx, cy int64, s, rp2, sx, sy, rx, ry float64) bool {
 
 // searchLink appends to *out every edge (i, j) that link i owns; when qout
 // is non-nil, each edge's conflict strength is appended to *qout in lockstep.
-func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge, qout *[]float64) {
+// st accumulates the worker's pruning counters.
+func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge, qout *[]float64, st *BuildStats) {
 	li := b.lens[i]
 	ci := b.class[i]
 	isx, isy := b.sx[i], b.sy[i]
@@ -881,7 +982,6 @@ func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge, qout *[
 			x = cg.maxL / li
 		}
 		r := li * b.f.Eval(x) * (1 + 1e-9)
-		rr := r * r
 		s := cg.size
 		// Cell pruning pad: r plus a slack dominating the worst-case absolute
 		// cancellation error of the rectangle arithmetic in cellNear (a few
@@ -917,7 +1017,7 @@ func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge, qout *[
 				if !cellNear(kx, ky, s, rp2, isx, isy, irx, iry) {
 					continue
 				}
-				b.scanCell(i, ci == c, rr, cg.members[cg.start[sl]:cg.start[sl+1]], stamp, out, qout)
+				b.scanSlot(i, ci == c, li, cg, sl, stamp, out, qout, st)
 			}
 			continue
 		}
@@ -926,19 +1026,81 @@ func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge, qout *[
 				if !cellNear(cx, cy, s, rp2, isx, isy, irx, iry) {
 					continue
 				}
-				b.scanCell(i, ci == c, rr, cg.cellAt(cx, cy), stamp, out, qout)
+				sl := cg.slotAt(cx, cy)
+				if sl < 0 {
+					continue
+				}
+				b.scanSlot(i, ci == c, li, cg, sl, stamp, out, qout, st)
 			}
 		}
 	}
 }
 
+// scanSlot applies the per-cell prunes to the candidate cell at slot sl and
+// streams its members through scanCell when it survives. Two rejections run
+// before any member is loaded:
+//
+//  1. Tightened radius. The class-level radius bounds every pair threshold
+//     through the class-wide length extremes; replaying the same monotone
+//     argument over the cell's own member-length extremes (gathered at
+//     freeze time) gives a radius that is never larger — for G_γ a cell of
+//     short same-class members shrinks it to cMaxL·γ.
+//  2. Endpoint-bbox rect distance. A conflicting candidate j has an in-cell
+//     endpoint q with |pq| ≤ thr ≤ rc for some endpoint p of i, and q lies
+//     in the cell's stored-endpoint bounding box, so a cell whose bbox is
+//     farther than the (slack-padded) tightened radius from both endpoints
+//     of i cannot hold an owned edge. The bbox is tighter than the cell
+//     rectangle cellNear tests, often by the full cell side.
+//
+// The surviving cell's members are then distance-tested against rc² instead
+// of the class radius, tightening the per-candidate reject as well.
+func (b *bucketedSearch) scanSlot(i int32, sameClass bool, li float64, cg *classGrid, sl int,
+	stamp []int32, out *[]edge, qout *[]float64, st *BuildStats) {
+	ic := cg.cellIdx[sl]
+	cmax := cg.cMaxL[ic]
+	var rc float64
+	if b.fConst > 0 {
+		m := li
+		if sameClass && cmax < li {
+			m = cmax
+		}
+		rc = m * b.fConst * (1 + 1e-9)
+	} else if sameClass {
+		lo := math.Min(li, cg.cMinL[ic])
+		hi := math.Max(li, cmax)
+		rc = math.Min(li, cmax) * b.f.Eval(hi/lo) * (1 + 1e-9)
+	} else {
+		rc = li * b.f.Eval(cmax/li) * (1 + 1e-9)
+	}
+	// Same absolute slack as the class-level pad: dominates the cancellation
+	// error of the rect-distance arithmetic, so rounding can never prune a
+	// cell holding a true candidate.
+	rcp := rc + (b.maxAbs+rc+2*cg.size)*1e-12
+	rcp2 := rcp * rcp
+	bnx, bxx := cg.bbMinX[ic], cg.bbMaxX[ic]
+	bny, bxy := cg.bbMinY[ic], cg.bbMaxY[ic]
+	isx, isy := b.sx[i], b.sy[i]
+	dx, dy := axisDist(isx, bnx, bxx), axisDist(isy, bny, bxy)
+	if dx*dx+dy*dy > rcp2 {
+		irx, iry := b.rx[i], b.ry[i]
+		dx, dy = axisDist(irx, bnx, bxx), axisDist(iry, bny, bxy)
+		if dx*dx+dy*dy > rcp2 {
+			st.CellsPruned++
+			return
+		}
+	}
+	st.CellsScanned++
+	b.scanCell(i, sameClass, rc*rc, cg, cg.start[sl], cg.start[sl+1], stamp, out, qout, st)
+}
+
 // scanCell runs the exact conflict test against every candidate in one grid
-// cell, recording the edges link i owns. Lengths come from the precomputed
-// lens table (no per-pair hypot), coordinates from the SoA arrays (no Link
-// struct loads), and for constant f (G_γ) the threshold skips the Eval
-// closure; the arithmetic — min over the four endpoint squared distances
-// against (l_min·f(l_max/l_min))² — is expression-identical to
-// conflictingLens, so the edge set matches BuildNaive bit-for-bit.
+// cell, recording the edges link i owns. Candidate coordinates and lengths
+// stream from the cell-local SoA mirror (one contiguous block per cell — no
+// gather-loads through members), and for constant f (G_γ) the threshold
+// skips the Eval closure; the arithmetic — min over the four endpoint
+// squared distances against (l_min·f(l_max/l_min))² — is
+// expression-identical to conflictingLens, so the edge set matches
+// BuildNaive bit-for-bit.
 //
 // A strength-annotated search (qout non-nil) computes the threshold through
 // the family factor h instead of f.Eval — lmin·(gm·h(x)), the identical
@@ -946,23 +1108,31 @@ func (b *bucketedSearch) searchLink(i int32, stamp []int32, out *[]edge, qout *[
 // accepted edge's strength.
 //
 // The loop is ordered cheapest-reject-first: the squared distance (pure SoA
-// loads and arithmetic) is compared against rr — the squared padded class
-// radius, which upper-bounds every pair threshold this scan can produce —
-// before the threshold function is evaluated, and the stamp array is only
-// consulted (and written) for accepted pairs, so rejected candidates never
-// touch it. A candidate reachable through two cells is simply tested twice;
-// the stamp still deduplicates the emitted edge.
+// loads and arithmetic) is compared against rr — the squared padded
+// per-cell radius from scanSlot, which upper-bounds every pair threshold
+// this scan can produce — before the threshold function is evaluated, and
+// the stamp array is only consulted (and written) for accepted pairs, so
+// rejected candidates never touch it. A candidate reachable through two
+// cells is simply tested twice; the stamp still deduplicates the emitted
+// edge.
 func (b *bucketedSearch) scanCell(i int32, sameClass bool, rr float64,
-	cell []int32, stamp []int32, out *[]edge, qout *[]float64) {
+	cg *classGrid, mlo, mhi int32, stamp []int32, out *[]edge, qout *[]float64, st *BuildStats) {
 	li := b.lens[i]
 	isx, isy := b.sx[i], b.sy[i]
 	irx, iry := b.rx[i], b.ry[i]
-	for _, j := range cell {
+	members := cg.members[mlo:mhi]
+	msx := cg.msx[mlo:mhi:mhi]
+	msy := cg.msy[mlo:mhi:mhi]
+	mrx := cg.mrx[mlo:mhi:mhi]
+	mry := cg.mry[mlo:mhi:mhi]
+	mlen := cg.mlen[mlo:mhi:mhi]
+	for k, j := range members {
 		if j == i || (sameClass && j < i) {
 			continue
 		}
-		jsx, jsy := b.sx[j], b.sy[j]
-		jrx, jry := b.rx[j], b.ry[j]
+		jsx, jsy := msx[k], msy[k]
+		jrx, jry := mrx[k], mry[k]
+		st.CandScanned++
 		dx, dy := isx-jsx, isy-jsy
 		d := dx*dx + dy*dy
 		dx, dy = isx-jrx, isy-jry
@@ -980,7 +1150,7 @@ func (b *bucketedSearch) scanCell(i int32, sameClass bool, rr float64,
 		if d > rr {
 			continue
 		}
-		lmin, lmax := li, b.lens[j]
+		lmin, lmax := li, mlen[k]
 		if lmin > lmax {
 			lmin, lmax = lmax, lmin
 		}
@@ -999,6 +1169,7 @@ func (b *bucketedSearch) scanCell(i int32, sameClass bool, rr float64,
 				continue
 			}
 			stamp[j] = i
+			st.CandAccepted++
 			*out = append(*out, edge{b.orig[i], b.orig[j]})
 			if qout != nil {
 				*qout = append(*qout, strengthOf(d, lmin, hx, b.gm))

@@ -230,6 +230,29 @@ func BenchmarkBuildNaive10k(b *testing.B) {
 	}
 }
 
+// BenchmarkScanCell isolates the candidate-scan half of the bucketed build
+// (searchLink → scanSlot over the cell-local SoA mirrors): a mid-size
+// uniform instance where grid setup and CSR assembly are small against the
+// per-cell scans, with the pruning counters reported alongside the time so
+// the cells-pruned and candidates-per-edge trajectories are visible in the
+// CI bench-smoke artifact next to the ns/op.
+func BenchmarkScanCell(b *testing.B) {
+	links := mstLinks(b, 20_000, 9, 20_000)
+	f := PowerLaw(2, 0.5)
+	b.ResetTimer()
+	var st BuildStats
+	for i := 0; i < b.N; i++ {
+		g := buildBucketedBG(links, f)
+		if g == nil {
+			b.Fatal("fell back")
+		}
+		st = g.Stats
+	}
+	b.ReportMetric(float64(st.CellsScanned), "cells_scanned")
+	b.ReportMetric(float64(st.CellsPruned), "cells_pruned")
+	b.ReportMetric(st.CandRatio(), "cand_per_edge")
+}
+
 func BenchmarkBuildBucketed50k(b *testing.B) {
 	links := mstLinks(b, 50_000, 9, 30_000)
 	f := PowerLaw(2, 0.5)

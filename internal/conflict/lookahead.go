@@ -223,6 +223,7 @@ func (g *Graph) FilterCtx(ctx context.Context, f Func, gamma float64) (*Graph, e
 		Links:  g.Links, // shared: both graphs treat Links as immutable
 		F:      f,
 		RowPtr: make([]int32, n+1),
+		Stats:  g.Stats, // the annotated build's pruning counters carry over
 	}
 	// Counting pass: per-row surviving-entry counts, written into
 	// RowPtr[i+1] so the prefix sum below finalizes the offsets.

@@ -14,13 +14,19 @@ package experiment
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggrate/internal/conflict"
 	"aggrate/internal/geom"
 	"aggrate/internal/mst"
+	"aggrate/internal/schedule"
+	"aggrate/internal/scheduler"
 )
 
 // DeployKey returns the deployment prefix of the spec's canonical form:
@@ -36,6 +42,29 @@ func DeployKey(s Spec) string {
 		name = n.Scenario.PresetName()
 	}
 	return fmt.Sprintf("%s|%d|%d|%d", name, n.N, n.Seed, n.Sink)
+}
+
+// SchedKey returns a canonical content hash of the spec's pre-power
+// scheduling prefix: the deployment (DeployKey) plus every field the
+// ordering+coloring+schedule stage reads — graph kind, algorithm, δ, and the
+// SINR constants. It is SpecKey minus the power scheme and the
+// verification/escalation knobs. γ is deliberately absent too: the stage
+// runs at a concrete (possibly escalated) γ, so the stage cache sub-keys
+// each build by the attempt's γ — power-scheme-only spec variants and
+// γ-sweeps that reach the same rung then share one ordering+coloring build.
+func SchedKey(s Spec) string {
+	n := s.normalized()
+	h := sha256.Sum256([]byte(DeployKey(s) + fmt.Sprintf("|sched|%s|%s|%g|%g|%g|%g|%g",
+		n.Graph, n.Algo, n.Delta,
+		n.SINR.Alpha, n.SINR.Beta, n.SINR.Noise, n.SINR.Epsilon)))
+	return hex.EncodeToString(h[:16])
+}
+
+// schedGammaKey is the stage cache's sub-key: the SchedKey prefix plus the
+// attempt's concrete γ, printed exactly (hex float) so distinct rungs never
+// collide through decimal rounding.
+func schedGammaKey(schedKey string, gamma float64) string {
+	return schedKey + "|" + strconv.FormatFloat(gamma, 'x', -1, 64)
 }
 
 // deployEntry holds the deployment-determined artifacts of one DeployKey.
@@ -56,9 +85,61 @@ type deployEntry struct {
 	laMu sync.Mutex
 	las  map[float64]*conflict.Lookahead
 
+	// scheds shares the pre-power stage product — the schedule skeleton and
+	// its strategy diagnostics — across the specs of this deployment, keyed
+	// by schedGammaKey (SchedKey + the attempt's concrete γ). Strategies are
+	// deterministic in (links, Config) and the cached *schedule.Schedule and
+	// Diag are immutable after publish, so a reused stage is bit-identical
+	// to the build a cold run would have done. Same singleflight protocol as
+	// the deployment itself: the first requester builds, the rest wait.
+	schedMu sync.Mutex
+	scheds  map[string]*schedEntry
+
 	// LRU linkage (guarded by the owning cache's mutex).
 	key        string
 	prev, next *deployEntry
+}
+
+// schedEntry is one cached pre-power stage product: the schedule skeleton
+// (ordering+coloring) of one (SchedKey, γ) under this deployment. ready is
+// closed when the builder finishes; after that sched/diag are immutable.
+type schedEntry struct {
+	ready chan struct{}
+	err   error
+
+	sched *schedule.Schedule
+	diag  scheduler.Diag
+}
+
+// schedAcquire returns the stage entry for key and whether the caller is its
+// builder. Builders must fill the entry and call schedFinish exactly once;
+// non-builders wait on ready.
+func (e *deployEntry) schedAcquire(key string) (*schedEntry, bool) {
+	e.schedMu.Lock()
+	defer e.schedMu.Unlock()
+	if se, ok := e.scheds[key]; ok {
+		return se, false
+	}
+	if e.scheds == nil {
+		e.scheds = make(map[string]*schedEntry)
+	}
+	se := &schedEntry{ready: make(chan struct{})}
+	e.scheds[key] = se
+	return se, true
+}
+
+// schedFinish publishes the builder's outcome. A failed build is removed so
+// the next attempt retries instead of replaying the error.
+func (e *deployEntry) schedFinish(key string, se *schedEntry, err error) {
+	se.err = err
+	close(se.ready)
+	if err != nil {
+		e.schedMu.Lock()
+		if cur, ok := e.scheds[key]; ok && cur == se {
+			delete(e.scheds, key)
+		}
+		e.schedMu.Unlock()
+	}
 }
 
 // lookaheadFor returns the entry's shared Lookahead armed at the given γ
@@ -86,6 +167,13 @@ type DeployCache struct {
 	head, tail *deployEntry
 
 	hits, misses, evictions int64
+
+	// Pre-power stage cache counters, across every deployment entry: a hit
+	// is an escalation attempt served by a cached ordering+coloring build
+	// (possibly after waiting for its builder), a miss is an attempt that
+	// built the stage. Atomics so the hot per-attempt path never takes the
+	// cache's LRU lock.
+	schedHits, schedMisses atomic.Int64
 }
 
 // DefaultDeployCacheEntries is the entry budget NewDeployCache installs for
@@ -123,6 +211,50 @@ func (dc *DeployCache) Stats() (hits, misses, evictions int64) {
 	dc.mu.Lock()
 	defer dc.mu.Unlock()
 	return dc.hits, dc.misses, dc.evictions
+}
+
+// SchedStats reports the pre-power stage cache's lifetime hit/miss counters:
+// hits are escalation attempts whose ordering+coloring+schedule skeleton was
+// served by a cached build (power-scheme-only spec variants and γ-sweep
+// rungs landing on a stage another spec already built), misses are attempts
+// that built the stage.
+func (dc *DeployCache) SchedStats() (hits, misses int64) {
+	if dc == nil {
+		return 0, 0
+	}
+	return dc.schedHits.Load(), dc.schedMisses.Load()
+}
+
+// schedFor resolves one escalation attempt's pre-power stage product through
+// dep's stage cache: a hit shares the cached schedule skeleton and strategy
+// diagnostics, a miss runs build (the strategy invocation, exactly as the
+// cold path would) and publishes the product for the attempts that follow.
+// A waiter whose builder failed falls back to a private build under its own
+// context — the cache can delay an attempt but never fail one on another's
+// behalf. reused reports a hit, so the caller can skip stamping stage
+// timings for work that never ran in this instance.
+func (dc *DeployCache) schedFor(ctx context.Context, dep *deployEntry, key string,
+	build func() (*schedule.Schedule, scheduler.Diag, error)) (sched *schedule.Schedule, diag scheduler.Diag, reused bool, err error) {
+	se, builder := dep.schedAcquire(key)
+	if builder {
+		dc.schedMisses.Add(1)
+		sched, diag, err = build()
+		se.sched, se.diag = sched, diag
+		dep.schedFinish(key, se, err)
+		return sched, diag, false, err
+	}
+	dc.schedHits.Add(1)
+	select {
+	case <-ctx.Done():
+		return nil, scheduler.Diag{}, false, ctx.Err()
+	case <-se.ready:
+	}
+	if se.err != nil {
+		// Builder failed under its own context; retry cold under ours.
+		sched, diag, err = build()
+		return sched, diag, false, err
+	}
+	return se.sched, se.diag, true, nil
 }
 
 // acquire returns the entry for key and whether the caller is its builder.

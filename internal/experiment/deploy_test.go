@@ -98,6 +98,107 @@ func TestNoInstanceCacheParity(t *testing.T) {
 	}
 }
 
+// TestSchedCacheParity: specs differing only in power scheme share the
+// pre-power stage (conflict build + ordering + coloring) through the
+// deployment entry's stage map — the stage builds once per (SchedKey, γ)
+// rung — and every result stays bit-identical to a cold --no-instance-cache
+// run of the same spec.
+func TestSchedCacheParity(t *testing.T) {
+	sc := uniformScenario(t)
+	base := NewSpec(sc, 0, 0)
+	powers := []string{PowerMean, PowerLinear, PowerUniform}
+	specs := Expand([]Scenario{sc}, []int{400}, 1, powers, []string{scheduler.Greedy}, base)
+	if len(specs) != len(powers) {
+		t.Fatalf("grid expanded to %d specs, want %d", len(specs), len(powers))
+	}
+
+	dc := NewDeployCache(4)
+	out, err := (&Runner{Workers: len(specs), Deploy: dc}).Run(context.Background(), specs)
+	if err != nil {
+		t.Fatalf("Runner.Run: %v", err)
+	}
+	attempts := int64(0)
+	reusedSpecs := 0
+	for i, res := range out {
+		if res.Err != "" {
+			t.Fatalf("spec %d failed: %s", i, res.Err)
+		}
+		attempts += int64(res.GammaRetries) + 1
+		if res.Timings.SchedReused {
+			reusedSpecs++
+			if res.GammaRetries == 0 &&
+				res.Timings.BuildSec+res.Timings.BuildFilterSec+res.Timings.OrderSec+res.Timings.ColorSec != 0 {
+				t.Fatalf("spec %d: fully reused stage still reports build=%g filter=%g order=%g color=%g",
+					i, res.Timings.BuildSec, res.Timings.BuildFilterSec,
+					res.Timings.OrderSec, res.Timings.ColorSec)
+			}
+		}
+	}
+	hits, misses := dc.SchedStats()
+	if hits+misses != attempts {
+		t.Fatalf("stage cache saw %d attempts (hits=%d misses=%d), pipeline ran %d",
+			hits+misses, hits, misses, attempts)
+	}
+	// All specs share SchedKey, so each γ rung builds at most once; with
+	// three power schemes starting at the same γ at least two attempts reuse.
+	if hits < int64(len(specs)-1) || reusedSpecs < len(specs)-1 {
+		t.Fatalf("stage sharing too low: hits=%d reused_specs=%d, want >= %d", hits, reusedSpecs, len(specs)-1)
+	}
+	for i, spec := range specs {
+		spec.NoInstanceCache = true
+		cold := Run(context.Background(), spec)
+		if cold.Err != "" {
+			t.Fatalf("cold spec %d failed: %s", i, cold.Err)
+		}
+		cold.Timings, out[i].Timings = Timings{}, Timings{}
+		cj, _ := json.Marshal(cold)
+		oj, _ := json.Marshal(out[i])
+		if string(cj) != string(oj) {
+			t.Fatalf("spec %d: stage-cached result differs from cold run\ncached: %s\ncold:   %s", i, oj, cj)
+		}
+	}
+}
+
+// TestSchedCacheGammaSweep: γ is excluded from SchedKey and sub-keyed per
+// concrete rung, so a spec starting at γ=3 reuses the rung a γ=2 spec's
+// escalation already built whenever the ladders land on the same value
+// (2·1.5 = 3), while rungs never reached stay unshared.
+func TestSchedCacheGammaSweep(t *testing.T) {
+	sc := uniformScenario(t)
+	dc := NewDeployCache(4)
+	a := NewSpec(sc, 400, 1)
+	b := NewSpec(sc, 400, 1)
+	b.Gamma = 3
+	outA, err := (&Runner{Workers: 1, Deploy: dc}).Run(context.Background(), []Spec{a})
+	if err != nil || outA[0].Err != "" {
+		t.Fatalf("gamma=2 run failed: %v / %s", err, outA[0].Err)
+	}
+	_, missesBefore := dc.SchedStats()
+	outB, err := (&Runner{Workers: 1, Deploy: dc}).Run(context.Background(), []Spec{b})
+	if err != nil || outB[0].Err != "" {
+		t.Fatalf("gamma=3 run failed: %v / %s", err, outB[0].Err)
+	}
+	hits, misses := dc.SchedStats()
+	reachedThree := outA[0].GammaRetries >= 1 // 2 → 3 via the 1.5 step
+	if reachedThree {
+		if hits == 0 || !outB[0].Timings.SchedReused {
+			t.Fatalf("gamma=3 spec missed the rung the gamma=2 ladder built: hits=%d reused=%t",
+				hits, outB[0].Timings.SchedReused)
+		}
+	} else if misses == missesBefore {
+		t.Fatalf("gamma=3 spec built nothing: misses stuck at %d", misses)
+	}
+	bCold := b
+	bCold.NoInstanceCache = true
+	cold := Run(context.Background(), bCold)
+	cold.Timings, outB[0].Timings = Timings{}, Timings{}
+	cj, _ := json.Marshal(cold)
+	oj, _ := json.Marshal(outB[0])
+	if string(cj) != string(oj) {
+		t.Fatalf("gamma-sweep cached result differs from cold run\ncached: %s\ncold:   %s", oj, cj)
+	}
+}
+
 // TestDeployCacheEviction: an entry-capped cache evicts least-recently-used
 // deployments; correctness is untouched, only reuse is shed.
 func TestDeployCacheEviction(t *testing.T) {

@@ -374,6 +374,13 @@ type Timings struct {
 	// runner's instance cache; GenerateSec and MSTSec are then zero — the
 	// stages never ran in this instance.
 	DeployReused bool `json:"deploy_reused,omitempty"`
+	// SchedReused reports that at least one escalation attempt's pre-power
+	// stage — conflict build, ordering, coloring, the schedule skeleton —
+	// was served by the instance cache's stage map (another spec of the
+	// same deployment, differing only in power scheme or initial γ, already
+	// built that (SchedKey, γ) rung); the reused attempts contribute
+	// nothing to BuildSec/OrderSec/ColorSec, which stayed with the builder.
+	SchedReused bool `json:"sched_reused,omitempty"`
 	// BuildSec counts full conflict-graph builds only; γ-escalation retries
 	// served by the lookahead cache account their (much smaller) filter-scan
 	// time under BuildFilterSec instead, and set BuildReused.
@@ -414,8 +421,20 @@ type Timings struct {
 	// VerifyRefinedCells counts far-field cells the engine re-aggregated at
 	// tightened openings during adaptive refinement (its middle tier,
 	// between the coarse pyramid pass and the exact fallback).
-	VerifyRefinedCells int64   `json:"verify_refined_cells,omitempty"`
-	TotalSec           float64 `json:"total_sec"`
+	VerifyRefinedCells int64 `json:"verify_refined_cells,omitempty"`
+	// Conflict-build pruning counters (conflict.BuildStats), summed over
+	// every graph built across escalation attempts: cells whose member
+	// lists were streamed vs cells rejected whole by the per-cell
+	// bbox/min-length screen, and candidates distance-tested vs edges
+	// accepted. BuildCandScanned/BuildCandAccepted is the mean number of
+	// distance tests per accepted edge — a hardware-independent
+	// candidate-efficiency signal the bench regression gate tracks. Zero
+	// for attempts served by the stage cache (no build ran here).
+	BuildCellsScanned int64   `json:"build_cells_scanned,omitempty"`
+	BuildCellsPruned  int64   `json:"build_cells_pruned,omitempty"`
+	BuildCandScanned  int64   `json:"build_cand_scanned,omitempty"`
+	BuildCandAccepted int64   `json:"build_cand_accepted,omitempty"`
+	TotalSec          float64 `json:"total_sec"`
 }
 
 // StageSecond is one element of Timings.StageSeconds: a pipeline stage name
@@ -636,49 +655,85 @@ func newInstance(ctx context.Context, spec Spec, ws *Workspace, dc *DeployCache)
 	}
 	gamma := spec.Gamma
 	var la *conflict.Lookahead
+	// Pre-power stage cache: with a shared deployment entry, the stage
+	// product of each attempt (conflict build + ordering + coloring — the
+	// schedule skeleton, everything before powers enter) is keyed under
+	// (SchedKey, concrete γ) in the entry, so power-scheme-only spec
+	// variants and γ-sweeps share one build per rung.
+	schedCached := dc != nil && !spec.NoInstanceCache
+	var skey string
+	if schedCached {
+		skey = SchedKey(spec)
+	}
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return inst, res, err
 		}
-		cfg := spec.config(gamma)
-		if ws != nil {
-			cfg.WS = ws.coloring
-		}
-		if !spec.NoLookahead {
-			// γ-lookahead: arm (or re-arm, when escalation left the window)
-			// a build ceiling Spec.GammaLookahead rungs above the current γ,
-			// clamped to the rungs that can still occur. The ceiling is
-			// computed by iterated multiplication — exactly how the loop
-			// escalates γ — so every reachable rung compares equal to it.
-			if la == nil || gamma > la.GammaMax() {
-				depth := spec.GammaLookahead
-				if r := spec.MaxGammaRetries - attempt; r < depth {
-					depth = r
-				}
-				top := gamma
-				for i := 0; i < depth; i++ {
-					top *= spec.GammaStep
-				}
-				// The deployment entry shares one Lookahead per ceiling, so
-				// same-deployment specs pay the annotated build once; a cold
-				// (uncached) entry degenerates to a private Lookahead.
-				la = dep.lookaheadFor(top)
+		// buildStage is the cold stage body: arm the γ-lookahead and invoke
+		// the strategy. The stage cache calls it on a miss; the uncached
+		// path calls it directly — one code path either way, so cached
+		// products are the exact objects a cold run builds.
+		buildStage := func() (*schedule.Schedule, scheduler.Diag, error) {
+			cfg := spec.config(gamma)
+			if ws != nil {
+				cfg.WS = ws.coloring
 			}
-			cfg.Lookahead = la
+			if !spec.NoLookahead {
+				// γ-lookahead: arm (or re-arm, when escalation left the
+				// window) a build ceiling Spec.GammaLookahead rungs above the
+				// current γ, clamped to the rungs that can still occur. The
+				// ceiling is computed by iterated multiplication — exactly how
+				// the loop escalates γ — so every reachable rung compares
+				// equal to it.
+				if la == nil || gamma > la.GammaMax() {
+					depth := spec.GammaLookahead
+					if r := spec.MaxGammaRetries - attempt; r < depth {
+						depth = r
+					}
+					top := gamma
+					for i := 0; i < depth; i++ {
+						top *= spec.GammaStep
+					}
+					// The deployment entry shares one Lookahead per ceiling,
+					// so same-deployment specs pay the annotated build once; a
+					// cold (uncached) entry degenerates to a private
+					// Lookahead.
+					la = dep.lookaheadFor(top)
+				}
+				cfg.Lookahead = la
+			}
+			return strat.Schedule(ctx, links, cfg)
 		}
-		// Stage timings accumulate across escalation attempts so that they
-		// still sum to TotalSec when verification forces a rebuild.
-		sched, diag, err := strat.Schedule(ctx, links, cfg)
+		var sched *schedule.Schedule
+		var diag scheduler.Diag
+		var reused bool
+		if schedCached {
+			sched, diag, reused, err = dc.schedFor(ctx, dep, schedGammaKey(skey, gamma), buildStage)
+		} else {
+			sched, diag, err = buildStage()
+		}
 		if err != nil {
 			return nil, res, err
 		}
-		res.Timings.BuildSec += diag.BuildSec
-		res.Timings.BuildFilterSec += diag.BuildFilterSec
-		if diag.BuildReused {
-			res.Timings.BuildReused = true
+		if reused {
+			// The stage never ran in this instance: its build/order/color
+			// seconds belong to the builder's Timings, not ours.
+			res.Timings.SchedReused = true
+		} else {
+			// Stage timings accumulate across escalation attempts so that
+			// they still sum to TotalSec when verification forces a rebuild.
+			res.Timings.BuildSec += diag.BuildSec
+			res.Timings.BuildFilterSec += diag.BuildFilterSec
+			if diag.BuildReused {
+				res.Timings.BuildReused = true
+			}
+			res.Timings.OrderSec += diag.OrderSec
+			res.Timings.ColorSec += diag.ColorSec
+			res.Timings.BuildCellsScanned += diag.BuildStats.CellsScanned
+			res.Timings.BuildCellsPruned += diag.BuildStats.CellsPruned
+			res.Timings.BuildCandScanned += diag.BuildStats.CandScanned
+			res.Timings.BuildCandAccepted += diag.BuildStats.CandAccepted
 		}
-		res.Timings.OrderSec += diag.OrderSec
-		res.Timings.ColorSec += diag.ColorSec
 
 		inst.Graph, inst.Colors, inst.Schedule, inst.Diag = diag.Graph, diag.Colors, sched, diag
 		inst.GammaUsed, inst.GammaRetries = gamma, attempt

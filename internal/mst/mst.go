@@ -158,6 +158,9 @@ type emstStats struct {
 	// SkippedPoints counts points whose entire ring search was skipped by
 	// the supercell test, summed over rounds.
 	SkippedPoints int
+	// CachedPoints counts points whose ring search was replaced by a cached
+	// best-edge candidate from an earlier round, summed over rounds.
+	CachedPoints int
 }
 
 // EMSTCtx is EMST with cancellation, checked once per Borůvka round
@@ -227,6 +230,23 @@ func emstCtx(ctx context.Context, pts []geom.Point, st *emstStats) ([]Edge, erro
 		ysM[k] = pts[j].Y
 	}
 	rootM := make([]int32, n)
+
+	// Cross-round champion cache, indexed by CSR slot so the per-point scan
+	// loop streams it sequentially. candJ[k]/candD2[k] hold a pair (i, j) —
+	// i the point in slot k — that was the component's best candidate at the
+	// moment i's ring scan ended: such a pair precedes every pair i scanned
+	// (the shared best is a running minimum over them) and every pair i
+	// pruned (the ring bound discards only pairs strictly worse than the
+	// bound, which at that moment was this pair's own weight) — so it is i's
+	// exact Kruskal-order minimum outgoing pair. Merges only shrink the
+	// foreign set, so the pair stays i's minimum in every later round until
+	// j's component merges with i's; while it does, i offers the cached pair
+	// and skips its ring scan outright.
+	candJ := make([]int32, n)
+	candD2 := make([]float64, n)
+	for k := range candJ {
+		candJ[k] = -1
+	}
 
 	dsu := unionfind.New(n)
 	edges := make([]Edge, 0, n-1)
@@ -400,7 +420,25 @@ func emstCtx(ctx context.Context, pts []geom.Point, st *emstStats) ([]Edge, erro
 						continue
 					}
 					i := members[k]
+					// Cached champion pair: while candJ[k] is still foreign
+					// it remains i's exact minimum outgoing pair — offer it
+					// and skip the ring scan. The cache is left in place; it
+					// stays valid until candJ[k]'s component merges in.
+					if j := candJ[k]; j >= 0 && rootOf[j] != int32(r) {
+						if d2 := candD2[k]; d2 < bestD2[r] || (d2 == bestD2[r] && better(r, d2, i, j)) {
+							bestD2[r] = d2
+							bestU[r], bestV[r] = i, j
+						}
+						stats.CachedPoints++
+						continue
+					}
 					px, py := xsM[k], ysM[k]
+					// The scan is sequential, so only i itself can move the
+					// component's best while i scans: hold it in locals (bd,
+					// bu, bv) for the duration — the stores into the float64
+					// arrays below would otherwise force the compiler to
+					// reload bestD2[r] from memory on every candidate.
+					bd, bu, bv := bestD2[r], bestU[r], bestV[r]
 					for ring := 0; ; ring++ {
 						// Ring lower bound: any point in a cell at Chebyshev
 						// ring distance q from p's cell is at least (q-1)·cs
@@ -410,7 +448,7 @@ func emstCtx(ctx context.Context, pts []geom.Point, st *emstStats) ([]Edge, erro
 						// strict inequality excludes).
 						if ring >= 2 {
 							lb := float64(ring-1) * cs
-							if lb*lb > bestD2[r] {
+							if lb*lb > bd {
 								break
 							}
 						}
@@ -453,9 +491,15 @@ func emstCtx(ctx context.Context, pts []geom.Point, st *emstStats) ([]Edge, erro
 								dx := px - xsM[k2]
 								dy := py - ysM[k2]
 								d2 := dx*dx + dy*dy
-								if d2 < bestD2[r] || (d2 == bestD2[r] && better(r, d2, i, members[k2])) {
-									bestD2[r] = d2
-									bestU[r], bestV[r] = i, members[k2]
+								if d2 < bd {
+									bd = d2
+									bu, bv = i, members[k2]
+								} else if d2 == bd {
+									au, av := minmax32(i, members[k2])
+									cu, cv := minmax32(bu, bv)
+									if au < cu || (au == cu && av < cv) {
+										bu, bv = i, members[k2]
+									}
 								}
 							}
 						}
@@ -494,13 +538,30 @@ func emstCtx(ctx context.Context, pts []geom.Point, st *emstStats) ([]Edge, erro
 									dx := px - xsM[k2]
 									dy := py - ysM[k2]
 									d2 := dx*dx + dy*dy
-									if d2 < bestD2[r] || (d2 == bestD2[r] && better(r, d2, i, members[k2])) {
-										bestD2[r] = d2
-										bestU[r], bestV[r] = i, members[k2]
+									if d2 < bd {
+										bd = d2
+										bu, bv = i, members[k2]
+									} else if d2 == bd {
+										au, av := minmax32(i, members[k2])
+										cu, cv := minmax32(bu, bv)
+										if au < cu || (au == cu && av < cv) {
+											bu, bv = i, members[k2]
+										}
 									}
 								}
 							}
 						}
+					}
+					bestD2[r], bestU[r], bestV[r] = bd, bu, bv
+					// Champion cache write: if i still supplies the shared
+					// best as its scan ends, that pair is i's exact minimum
+					// outgoing pair (see candJ above). Otherwise any previous
+					// cache entry has already failed its validity check, so
+					// clear it.
+					if bu == i {
+						candJ[k], candD2[k] = bv, bd
+					} else if candJ[k] >= 0 {
+						candJ[k] = -1
 					}
 				}
 			}
@@ -602,17 +663,26 @@ func Build(pts []geom.Point, edges []Edge, sink int) (*Tree, error) {
 	if len(edges) != n-1 {
 		return nil, fmt.Errorf("mst: %d edges cannot span %d points", len(edges), n)
 	}
-	adj := make([][]int, n)
-	dsu := unionfind.New(n)
+	// CSR adjacency: two counted passes instead of 2(n-1) per-node appends,
+	// and the BFS streams each node's neighbors from one contiguous block.
+	rowPtr := make([]int32, n+1)
 	for _, e := range edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 			return nil, fmt.Errorf("mst: edge (%d,%d) out of range", e.U, e.V)
 		}
-		if !dsu.Union(e.U, e.V) {
-			return nil, fmt.Errorf("mst: edge (%d,%d) creates a cycle", e.U, e.V)
-		}
-		adj[e.U] = append(adj[e.U], e.V)
-		adj[e.V] = append(adj[e.V], e.U)
+		rowPtr[e.U+1]++
+		rowPtr[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	adjFlat := make([]int32, 2*(n-1))
+	fill := append([]int32(nil), rowPtr[:n]...)
+	for _, e := range edges {
+		adjFlat[fill[e.U]] = int32(e.V)
+		fill[e.U]++
+		adjFlat[fill[e.V]] = int32(e.U)
+		fill[e.V]++
 	}
 	t := &Tree{
 		Points:   pts,
@@ -626,27 +696,50 @@ func Build(pts []geom.Point, edges []Edge, sink int) (*Tree, error) {
 		t.Parent[i] = -1
 		t.LinkOf[i] = -1
 	}
-	// BFS from the sink to orient edges.
-	queue := []int{sink}
+	// BFS from the sink to orient edges. Connectivity doubles as the
+	// spanning-tree check: n-1 edges that reach every node cannot contain a
+	// cycle, so no separate union-find pass is needed.
+	queue := make([]int32, 1, n)
+	queue[0] = int32(sink)
 	visited := make([]bool, n)
 	visited[sink] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range adj[v] {
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, w := range adjFlat[rowPtr[v]:rowPtr[v+1]] {
 			if visited[w] {
 				continue
 			}
 			visited[w] = true
-			t.Parent[w] = v
+			t.Parent[w] = int(v)
 			t.Depth[w] = t.Depth[v] + 1
-			t.Children[v] = append(t.Children[v], w)
 			queue = append(queue, w)
 		}
 	}
 	for v, ok := range visited {
 		if !ok {
-			return nil, fmt.Errorf("mst: node %d not reachable from sink", v)
+			return nil, fmt.Errorf("mst: node %d not reachable from sink (edges do not form a spanning tree)", v)
+		}
+	}
+	// Children, carved from one flat backing array in BFS discovery order —
+	// per parent that is its adjacency order, as the row-by-row BFS visits.
+	childPtr := make([]int32, n+1)
+	for _, w := range queue[1:] {
+		childPtr[t.Parent[w]+1]++
+	}
+	for i := 0; i < n; i++ {
+		childPtr[i+1] += childPtr[i]
+	}
+	childFlat := make([]int, n-1)
+	cfill := append([]int32(nil), childPtr[:n]...)
+	for _, w := range queue[1:] {
+		p := t.Parent[w]
+		childFlat[cfill[p]] = int(w)
+		cfill[p]++
+	}
+	for v := 0; v < n; v++ {
+		s, e := childPtr[v], childPtr[v+1]
+		if s < e {
+			t.Children[v] = childFlat[s:e:e]
 		}
 	}
 	// One uplink per non-sink node, ordered by node index for determinism.

@@ -301,16 +301,44 @@ func (m MultiHotspot) Generate(n int, r *rng.RNG) []geom.Point {
 // generators, so this almost never fires, but determinism requires
 // handling it deterministically rather than assuming.
 func dedupe(pts []geom.Point, r *rng.RNG, scale float64) []geom.Point {
-	seen := make(map[geom.Point]bool, len(pts))
 	eps := scale * 1e-9
 	if eps <= 0 {
 		eps = 1e-9
 	}
+	// Open-addressed exact-coordinate set: a generic map spends a third of
+	// the generation stage on hashed Point keys at n=10⁶. Membership is the
+	// map's (==), so the jitter stream — and with it every generated
+	// instance — is unchanged; ±0 coordinates are normalized in the hash
+	// only (x+0 maps -0 to +0), matching map equality of the two zeros.
+	size := 1
+	for size < 2*len(pts) {
+		size <<= 1
+	}
+	mask := uint64(size - 1)
+	keys := make([]geom.Point, size)
+	full := make([]bool, size)
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	hash := func(p geom.Point) uint64 {
+		h := uint64(fnvOffset)
+		h = (h ^ math.Float64bits(p.X+0)) * fnvPrime
+		h = (h ^ math.Float64bits(p.Y+0)) * fnvPrime
+		return h
+	}
 	for i, p := range pts {
-		for seen[p] {
+		for {
+			h := hash(p) & mask
+			for full[h] && keys[h] != p {
+				h = (h + 1) & mask
+			}
+			if !full[h] {
+				keys[h], full[h] = p, true
+				break
+			}
 			p = geom.Point{X: p.X + (r.Float64()-0.5)*eps, Y: p.Y}
 		}
-		seen[p] = true
 		pts[i] = p
 	}
 	return pts

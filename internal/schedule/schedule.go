@@ -44,8 +44,27 @@ func FromColoring(links []geom.Link, colors []int) (*Schedule, error) {
 		Links: append([]geom.Link(nil), links...),
 		Slots: make([][]int, numColors),
 	}
+	// Counting sort into one flat backing array: two sequential passes over
+	// colors instead of per-slot append growth, and slot k keeps the same
+	// index-ascending order appends would have produced.
+	off := make([]int32, numColors+1)
+	for _, c := range colors {
+		off[c+1]++
+	}
+	for c := 0; c < numColors; c++ {
+		off[c+1] += off[c]
+	}
+	flat := make([]int, len(colors))
+	fill := append([]int32(nil), off[:numColors]...)
 	for i, c := range colors {
-		s.Slots[c] = append(s.Slots[c], i)
+		flat[fill[c]] = i
+		fill[c]++
+	}
+	for c := 0; c < numColors; c++ {
+		lo, hi := off[c], off[c+1]
+		if lo < hi { // an unused color keeps its nil slot, as appends would
+			s.Slots[c] = flat[lo:hi:hi]
+		}
 	}
 	return s, nil
 }

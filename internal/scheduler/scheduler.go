@@ -149,6 +149,12 @@ type Diag struct {
 	// filtering a cached strength-annotated build instead of a fresh build.
 	BuildFilterSec float64
 	BuildReused    bool
+	// BuildStats aggregates the bucketed conflict build's pruning counters
+	// over every graph this Schedule call constructed (per-class graphs
+	// included) — the hardware-independent candidate-efficiency signal the
+	// bench regression gate tracks. Lookahead-filtered graphs report the
+	// annotated build's counters.
+	BuildStats conflict.BuildStats
 }
 
 // Strategy is one scheduling algorithm. Schedule must return a schedule over
@@ -223,11 +229,17 @@ func buildGraph(ctx context.Context, links []geom.Link, fam conflict.Family, gam
 		if st.Reused {
 			d.BuildReused = true
 		}
+		if g != nil {
+			d.BuildStats.Add(g.Stats)
+		}
 		return g, err
 	}
 	t0 := time.Now()
 	g, err := conflict.BuildCtx(ctx, links, fam.At(gamma))
 	d.BuildSec += time.Since(t0).Seconds()
+	if g != nil {
+		d.BuildStats.Add(g.Stats)
+	}
 	return g, err
 }
 

@@ -71,6 +71,30 @@ func TestInstanceCacheAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestSchedCacheAcrossPowers: a job fanning one algorithm out over power
+// schemes shares the pre-power schedule stage — the deployment entry's stage
+// map builds each (SchedKey, γ) rung once and serves the other power
+// variants from it — and the sched-cache /metrics series track it.
+func TestSchedCacheAcrossPowers(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	job := `{"scenarios":["uniform"],"ns":[200],"seeds":1,"seed":7,"algos":["greedy"],"powers":["mean","linear"]}`
+	st, code := postJob(t, ts, job)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	waitStatus(t, ts, st.ID, StatusDone, 30*time.Second)
+	hits, misses := s.deploy.SchedStats()
+	if hits < 1 || misses < 1 {
+		t.Fatalf("sched cache hits=%d misses=%d, want at least one build and one reuse", hits, misses)
+	}
+	samples := checkExposition(t, scrape(t, ts.URL))
+	if samples["aggrate_sched_cache_hits_total"] != float64(hits) ||
+		samples["aggrate_sched_cache_misses_total"] != float64(misses) {
+		t.Fatalf("sched cache series (%v, %v) != counters (%d, %d)",
+			samples["aggrate_sched_cache_hits_total"], samples["aggrate_sched_cache_misses_total"], hits, misses)
+	}
+}
+
 // TestInstanceCacheEviction: a size-1 cache serving two interleaved
 // deployments evicts between them; the eviction counter and entry gauge
 // expose it, and results are unharmed.

@@ -31,6 +31,8 @@ var requiredSeries = []string{
 	"aggrate_instance_cache_misses_total",
 	"aggrate_instance_cache_evictions_total",
 	"aggrate_instance_cache_entries",
+	"aggrate_sched_cache_hits_total",
+	"aggrate_sched_cache_misses_total",
 	"aggrate_queue_depth",
 	"aggrate_queue_capacity",
 	"aggrate_active_workers",

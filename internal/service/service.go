@@ -334,6 +334,14 @@ func (s *Server) registerGauges() {
 	m.registerGauge("aggrate_instance_cache_entries", "", "Deployments held by the stage-split instance cache.", func() float64 {
 		return float64(s.deploy.Len())
 	})
+	m.registerCounter("aggrate_sched_cache_hits_total", "", "Pre-power schedule-stage cache hits (ordering+coloring builds reused across power schemes and gamma rungs).", func() float64 {
+		h, _ := s.deploy.SchedStats()
+		return float64(h)
+	})
+	m.registerCounter("aggrate_sched_cache_misses_total", "", "Pre-power schedule-stage cache misses (stage builds run).", func() float64 {
+		_, mi := s.deploy.SchedStats()
+		return float64(mi)
+	})
 }
 
 // newDeployCache resolves the InstanceCacheSize config: negative disables

@@ -126,6 +126,9 @@ type Engine struct {
 	links     []geom.Link
 	// lenA[i] = l_i^α, the received-signal denominator of link i.
 	lenA []float64
+	// forcePerLink disables the frontier-shared first pass regardless of
+	// slot size; test-only, for pinning shared-vs-per-link margin identity.
+	forcePerLink bool
 }
 
 // pow-mode fast paths for (d²)^(α/2).
@@ -614,12 +617,33 @@ type EngineScratch struct {
 	nearCells     []int32
 	fpx, fpy, fpw []float64
 
+	// Frontier-shared descent buffers: double-buffered node groups and the
+	// shared still-open cell pool they span, per-cell far-field interval
+	// accumulators and cell coordinates, and the (cell, base-cell) near
+	// pairs with their counting-sort layout.
+	fgCur, fgNext  []frontierGroup
+	flCur, flNext  []int32
+	cellLo, cellHi []float64
+	ccx, ccy       []int32
+	npCell, npBase []int32
+	nearStart      []int32
+	nearOrd        []int32
+
 	// grid is the scratch-owned slot structure, rebuilt (or refreshed from
 	// a retained grid) when the caller is not caching grids.
 	grid SlotGrid
 }
 
 type nodeRef struct{ level, x, y int32 }
+
+// frontierGroup is one pyramid node of the level-ordered shared descent,
+// with the span of still-open cells it must test in the level's shared
+// cell pool. The four children of an opened node inherit one common span,
+// so spans stay contiguous and the pool is append-only per level.
+type frontierGroup struct {
+	nx, ny int32 // node coordinates at the wave's level
+	lo, hi int32 // open-cell span in the level's cell pool
+}
 
 // NewEngineScratch returns an empty scratch; buffers grow on demand and are
 // reused across MarginSlot calls.
@@ -762,7 +786,7 @@ func (e *Engine) MarginSlotGrid(idx []int, power []float64, sc *EngineScratch, s
 	// neighbors descend near-identical pyramid paths and the tree walk
 	// stays cache-resident. Each variant writes only per-k entries, so the
 	// pass is order-independent.
-	if m >= engineSharedPassMin {
+	if m >= engineSharedPassMin && !e.forcePerLink {
 		e.descendShared(sc, use, engineThetaLadder2[0], st)
 	} else {
 		for _, mk := range use.members {
@@ -1315,71 +1339,141 @@ func (e *Engine) descendShared(sc *EngineScratch, g *SlotGrid, theta2 float64, s
 		}
 	}
 
+	// Per-cell far-field accumulators, cell coordinates, and the root
+	// frontier: every non-empty cell starts open at the pyramid top.
+	if cap(sc.cellLo) < nc {
+		sc.cellLo = make([]float64, nc)
+		sc.cellHi = make([]float64, nc)
+		sc.ccx = make([]int32, nc)
+		sc.ccy = make([]int32, nc)
+	}
+	cellLo, cellHi := sc.cellLo[:nc], sc.cellHi[:nc]
+	ccx, ccy := sc.ccx[:nc], sc.ccy[:nc]
+	curL := sc.flCur[:0]
+	for c := 0; c < nc; c++ {
+		if g.starts[c] == g.starts[c+1] {
+			continue
+		}
+		cellLo[c], cellHi[c] = 0, 0
+		ccx[c], ccy[c] = int32(c%d0), int32(c/d0)
+		curL = append(curL, int32(c))
+	}
+
+	// Level-ordered shared descent: one breadth-first pass over the pyramid
+	// for the whole slot. Each wave node carries the span of cells still
+	// open at it (children inherit their parent's open subset, so spans are
+	// contiguous in an append-only pool); the node's bbox is tested against
+	// all of its cells in one flat run, so the node load and classification
+	// setup amortize across cells instead of restarting a stack walk per
+	// cell. Far acceptances accumulate into the per-cell interval; cells
+	// that survive to level 0 become (cell, base-cell) near pairs. The
+	// classification predicate per (node, cell) pair is exactly the per-cell
+	// walk's, so near sets and certified intervals match it up to far-field
+	// accumulation order — absorbed by the candidate tier; final margins
+	// only ever come from the order-pinned exact kernels.
 	top := len(g.levelOff) - 1
 	nodes, levelOff := g.nodes, g.levelOff
+	curG := append(sc.fgCur[:0], frontierGroup{0, 0, 0, int32(len(curL))})
+	nextG, nextL := sc.fgNext[:0], sc.flNext[:0]
+	pc, pb := sc.npCell[:0], sc.npBase[:0]
+	var farNodes int64
+	for l := top; l >= 0 && len(curG) > 0; l-- {
+		dim := d0 >> l
+		nextG, nextL = nextG[:0], nextL[:0]
+		for _, fg := range curG {
+			ni := levelOff[l] + int(fg.ny)*dim + int(fg.nx)
+			n := &nodes[ni]
+			nminX, nmaxX := n.minX, n.maxX
+			nminY, nmaxY := n.minY, n.maxY
+			mass := n.mass
+			openStart := int32(len(nextL))
+			for _, c := range curL[fg.lo:fg.hi] {
+				bminx, bmaxx := rminx[c], rmaxx[c]
+				bminy, bmaxy := rminy[c], rmaxy[c]
+				// Min/max squared distance between the node's sender bbox
+				// and the cell's receiver bbox.
+				dx := max(nminX-bmaxx, bminx-nmaxX, 0)
+				dy := max(nminY-bmaxy, bminy-nmaxY, 0)
+				mind2 := dx*dx + dy*dy
+				// Ancestors of the home cell hold the members' own senders;
+				// always open them so self-exclusion stays positional.
+				if mind2 > 0 && !(ccx[c]>>uint(l) == fg.nx && ccy[c]>>uint(l) == fg.ny) {
+					fx := max(bmaxx-nminX, nmaxX-bminx)
+					fy := max(bmaxy-nminY, nmaxY-bminy)
+					maxd2 := fx*fx + fy*fy
+					if maxd2 <= theta2*mind2 {
+						if mass > 0 {
+							farNodes++
+							a := e.powD2(maxd2)
+							b := e.powD2(mind2)
+							if inv := 1 / (a * b); inv > 0 && !math.IsInf(inv, 1) {
+								cellLo[c] += mass * b * inv
+								cellHi[c] += mass * a * inv
+							} else {
+								cellLo[c] += mass / a
+								cellHi[c] += mass / b
+							}
+						}
+						continue
+					}
+				}
+				if l == 0 {
+					pc = append(pc, c)
+					pb = append(pb, int32(int(fg.ny)*d0+int(fg.nx)))
+					continue
+				}
+				nextL = append(nextL, c)
+			}
+			if l > 0 && int32(len(nextL)) > openStart {
+				cx, cy := fg.nx<<1, fg.ny<<1
+				mask := g.childMask[ni]
+				for i := uint8(0); i < 4; i++ {
+					if mask&(1<<i) != 0 {
+						nextG = append(nextG, frontierGroup{cx + int32(i&1), cy + int32(i>>1), openStart, int32(len(nextL))})
+					}
+				}
+			}
+		}
+		curG, nextG = nextG, curG
+		curL, nextL = nextL, curL
+	}
+	sc.fgCur, sc.fgNext = curG[:0], nextG[:0]
+	sc.flCur, sc.flNext = curL[:0], nextL[:0]
+	sc.npCell, sc.npBase = pc, pb
+	st.FarNodes += farNodes
+
+	// Counting-sort the near pairs by home cell so each cell's base cells
+	// form one contiguous run, in the deterministic wave emission order.
+	if cap(sc.nearStart) < nc+1 {
+		sc.nearStart = make([]int32, nc+1)
+	}
+	nearStart := sc.nearStart[:nc+1]
+	for i := range nearStart {
+		nearStart[i] = 0
+	}
+	for _, c := range pc {
+		nearStart[c+1]++
+	}
+	for c := 0; c < nc; c++ {
+		nearStart[c+1] += nearStart[c]
+	}
+	if cap(sc.nearOrd) < len(pb) {
+		sc.nearOrd = make([]int32, len(pb))
+	}
+	nearOrd := sc.nearOrd[:len(pb)]
+	fill := append(sc.nearCells[:0], nearStart[:nc]...)
+	for i, c := range pc {
+		nearOrd[fill[c]] = pb[i]
+		fill[c]++
+	}
+	sc.nearCells = fill[:0]
+
 	for c := 0; c < nc; c++ {
 		t0, t1 := g.starts[c], g.starts[c+1]
 		if t0 == t1 {
 			continue
 		}
-		bminx, bmaxx := rminx[c], rmaxx[c]
-		bminy, bmaxy := rminy[c], rmaxy[c]
-		cCX, cCY := int32(c%d0), int32(c/d0)
-		stack := sc.stack[:0]
-		nearCells := sc.nearCells[:0]
-		var lo, hi float64
-		var farNodes int64
-		stack = append(stack, nodeRef{int32(top), 0, 0})
-		for len(stack) > 0 {
-			nr := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			l := int(nr.level)
-			dim := d0 >> l
-			ni := levelOff[l] + int(nr.y)*dim + int(nr.x)
-			n := &nodes[ni]
-			// Min/max squared distance between the node's sender bbox and
-			// the cell's receiver bbox.
-			dx := max(n.minX-bmaxx, bminx-n.maxX, 0)
-			dy := max(n.minY-bmaxy, bminy-n.maxY, 0)
-			mind2 := dx*dx + dy*dy
-			fx := max(bmaxx-n.minX, n.maxX-bminx)
-			fy := max(bmaxy-n.minY, n.maxY-bminy)
-			maxd2 := fx*fx + fy*fy
-			// Ancestors of the home cell hold the members' own senders;
-			// always open them so self-exclusion stays positional.
-			if !(cCX>>nr.level == nr.x && cCY>>nr.level == nr.y) &&
-				mind2 > 0 && maxd2 <= theta2*mind2 {
-				if mass := n.mass; mass > 0 {
-					farNodes++
-					a := e.powD2(maxd2)
-					b := e.powD2(mind2)
-					if inv := 1 / (a * b); inv > 0 && !math.IsInf(inv, 1) {
-						lo += mass * b * inv
-						hi += mass * a * inv
-					} else {
-						lo += mass / a
-						hi += mass / b
-					}
-				}
-				continue
-			}
-			if l == 0 {
-				nearCells = append(nearCells, int32(int(nr.y)*d0+int(nr.x)))
-				continue
-			}
-			cx, cy := nr.x<<1, nr.y<<1
-			cl := nr.level - 1
-			mask := g.childMask[ni]
-			for i := uint8(0); i < 4; i++ {
-				if mask&(1<<i) != 0 {
-					stack = append(stack, nodeRef{cl, cx + int32(i&1), cy + int32(i>>1)})
-				}
-			}
-		}
-		sc.stack = stack
-		sc.nearCells = nearCells
-		st.FarNodes += farNodes
-
+		lo, hi := cellLo[c], cellHi[c]
 		// Flatten the near cells' sender copies into one contiguous run;
 		// every member of the home cell then scans a single SoA stretch
 		// (split around its own sender) instead of a dozen short cell
@@ -1387,7 +1481,7 @@ func (e *Engine) descendShared(sc *EngineScratch, g *SlotGrid, theta2 float64, s
 		// members.
 		fpx, fpy, fpw := sc.fpx[:0], sc.fpy[:0], sc.fpw[:0]
 		homeOff := 0
-		for _, bc := range nearCells {
+		for _, bc := range nearOrd[nearStart[c]:nearStart[c+1]] {
 			b0, b1 := g.starts[bc], g.starts[bc+1]
 			if int(bc) == c {
 				homeOff = len(fpx)

@@ -125,6 +125,54 @@ func TestEngineMatchesMarginGridPath(t *testing.T) {
 	}
 }
 
+// TestEngineSharedFrontierParity forces the frontier-shared first pass
+// (m ≥ engineSharedPassMin) and checks, on uniform and clustered layouts,
+// that (a) the margin matches the naive oracle and (b) it is bit-identical
+// to the per-link descent tier — the certified-interval argument says the
+// shared pass may only change candidate-set composition, never the margin.
+func TestEngineSharedFrontierParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quadratic oracle on a large slot")
+	}
+	m := engineSharedPassMin + 123
+	p := Params{Alpha: 3, Beta: 1, Noise: 0, Epsilon: 0.5}
+	layouts := map[string][]geom.Link{
+		"uniform": randLinks(m, 20000, 31),
+		"cluster": clusterLinks(m, 32),
+	}
+	for name, links := range layouts {
+		powers := randPowers(m, 33)
+		idx := fullSlot(m)
+		eng := NewEngine(p, links)
+		var st EngineStats
+		shared, err := eng.MarginSlot(idx, powers, NewEngineScratch(), &st)
+		if err != nil {
+			t.Fatalf("%s: shared MarginSlot: %v", name, err)
+		}
+		engPL := NewEngine(p, links)
+		engPL.forcePerLink = true
+		var stPL EngineStats
+		perLink, err := engPL.MarginSlot(idx, powers, NewEngineScratch(), &stPL)
+		if err != nil {
+			t.Fatalf("%s: per-link MarginSlot: %v", name, err)
+		}
+		if shared != perLink {
+			t.Fatalf("%s: shared margin %.17g != per-link margin %.17g", name, shared, perLink)
+		}
+		slotLinks := make([]geom.Link, m)
+		for k, i := range idx {
+			slotLinks[k] = links[i]
+		}
+		want, err := p.Margin(slotLinks, powers)
+		if err != nil {
+			t.Fatalf("%s: Margin: %v", name, err)
+		}
+		if rel := math.Abs(shared-want) / math.Max(math.Abs(want), 1e-300); rel > 1e-9 {
+			t.Fatalf("%s: margin %.17g vs naive %.17g (rel %.3g)", name, shared, want, rel)
+		}
+	}
+}
+
 // TestEngineSubsetSlot verifies that slots referencing a strict subset of
 // the engine's link set (the normal case: one schedule, many slots) index
 // correctly.
@@ -294,6 +342,30 @@ func TestEngineStatsFracInvariant(t *testing.T) {
 
 // BenchmarkMargin compares the naive O(m²) Margin with the engine on one
 // large slot — the per-slot speedup layer 1+2 buy before slot parallelism.
+// BenchmarkDescendShared compares the tier-1 coarse pass on a huge slot:
+// per-link pyramid descents ("cold") against the frontier-shared wave.
+func BenchmarkDescendShared(b *testing.B) {
+	m := 1 << 14
+	links := randLinks(m, 50000, 41)
+	powers := randPowers(m, 42)
+	idx := fullSlot(m)
+	p := Params{Alpha: 3, Beta: 1, Noise: 0, Epsilon: 0.5}
+	for _, mode := range []string{"cold", "frontier"} {
+		b.Run(mode, func(b *testing.B) {
+			eng := NewEngine(p, links)
+			eng.forcePerLink = mode == "cold"
+			sc := NewEngineScratch()
+			var st EngineStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.MarginSlot(idx, powers, sc, &st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkMargin(b *testing.B) {
 	links := randLinks(4000, 20000, 61)
 	powers := randPowers(4000, 62)

@@ -3,15 +3,19 @@
 #
 # Guards the scheduling and verification hot paths: fails when, at the probe
 # size (the largest measured n present in the baseline, n=20000 as checked
-# in), the measured greedy pipeline_sec, build_sec, or verify_sec exceeds
-# MAX_RATIO (default 1.5) times the checked-in baseline; when the run-level
+# in), the measured greedy pipeline_sec, build_sec, mst_sec, or verify_sec
+# exceeds MAX_RATIO (default 1.5) times the checked-in baseline; when the run-level
 # kernel_ns_per_pair (the symmetric near-field kernel micro-measurement)
 # exceeds MAX_RATIO times the baseline's — and, independently of the
 # baseline, when the fast verify engine's exact_pairs_frac exceeds 0.05 at
 # the probe size, when the probe instance escalated γ without the retry
 # being served from the lookahead filter scan (build_reused), or when the
 # probe's grid-warm re-verify reports verify_grid_reused == 0 (the
-# persistent slot structures stopped being reused). The
+# persistent slot structures stopped being reused), or when the conflict
+# build's candidate-efficiency ratio (build_cand_scanned per
+# build_cand_accepted — distance tests per accepted edge) exceeds the
+# baseline's by more than 5%, meaning the per-cell bbox/min-length screen
+# stopped rejecting cells. The
 # fraction gate is hardware-independent: it measures how
 # much of the naive O(m²) pairwise work the engine performed, so a blown
 # far-field bound or broken refinement ladder trips it even on a fast
@@ -42,15 +46,16 @@ def greedy_rows(path):
     with open(path) as f:
         report = json.load(f)
     run = report["runs"][0]
-    out = {}
+    out, entries = {}, {}
     for entry in run["entries"]:
+        entries[entry["n"]] = entry
         for algo in entry["algos"]:
             if algo["algo"] == "greedy":
                 out[entry["n"]] = algo
-    return out, run.get("kernel_ns_per_pair", 0.0)
+    return out, entries, run.get("kernel_ns_per_pair", 0.0)
 
-base, base_kernel = greedy_rows(baseline_path)
-meas, meas_kernel = greedy_rows(measured_path)
+base, base_entries, base_kernel = greedy_rows(baseline_path)
+meas, meas_entries, meas_kernel = greedy_rows(measured_path)
 if not base:
     sys.exit(f"{baseline_path}: no greedy entries")
 n = max((n for n in base if n in meas), default=None)
@@ -67,6 +72,34 @@ for field in ("pipeline_sec", "build_sec", "verify_sec"):
     print(f"greedy n={n}: {field} {m:.3f}s vs baseline {b:.3f}s -> {ratio:.2f}x (limit {max_ratio}x)")
     if ratio > max_ratio:
         failures.append(f"{field} regression: {ratio:.2f}x exceeds the {max_ratio}x budget")
+
+# EMST gate: entry-level mst_sec at the probe size — the Boruvka grid walk
+# (supercell skips, champion cache) regressing shows up here, not in the
+# greedy stage split.
+b, m = base_entries[n].get("mst_sec", 0.0), meas_entries[n].get("mst_sec", 0.0)
+if b > 0:
+    ratio = m / b
+    print(f"n={n}: mst_sec {m:.3f}s vs baseline {b:.3f}s -> {ratio:.2f}x (limit {max_ratio}x)")
+    if ratio > max_ratio:
+        failures.append(f"mst_sec regression: {ratio:.2f}x exceeds the {max_ratio}x budget")
+else:
+    print(f"n={n}: baseline lacks mst_sec; skipping the EMST gate")
+
+# Candidate-efficiency gate: distance tests per accepted edge in the greedy
+# conflict build, hardware-independent. A loosened per-cell screen (bbox or
+# min-length) inflates the ratio even when faster hardware hides the time.
+CAND_RATIO_SLACK = 1.05
+bs, ba = base[n].get("build_cand_scanned", 0), base[n].get("build_cand_accepted", 0)
+ms, ma = meas[n].get("build_cand_scanned", 0), meas[n].get("build_cand_accepted", 0)
+if bs and ba and ms and ma:
+    br, mr = bs / ba, ms / ma
+    print(f"greedy n={n}: cand_scanned/accepted {mr:.3f} vs baseline {br:.3f} (limit {CAND_RATIO_SLACK}x)")
+    if mr > br * CAND_RATIO_SLACK:
+        failures.append(
+            f"candidate-efficiency regression: {mr:.3f} tests/edge exceeds "
+            f"baseline {br:.3f} by more than {CAND_RATIO_SLACK}x")
+else:
+    print(f"greedy n={n}: candidate counters absent (base {bs}/{ba}, measured {ms}/{ma}); skipping the efficiency gate")
 
 # γ-lookahead gate: the probe instance (γ=2 oblivious) escalates, and the
 # retry's conflict graph must come from the lookahead filter scan — a lost
